@@ -1,0 +1,66 @@
+"""Ablation: measured auto-tuning vs the paper's hand tuning.
+
+The Tuner sweeps candidate algorithms and Imax values on the simulated
+NodeA and emits a decision table; this bench compares the resulting
+configuration against the paper's hand-tuned defaults (switch at
+256 KB, Imax 256 KB) across the message-size sweep, and prints the
+measured decision table itself.
+"""
+
+import pytest
+
+from repro.collectives.switching import YHCCLConfig
+from repro.library.communicator import Communicator
+from repro.library.tuner import Tuner
+from repro.library.yhccl import YHCCL
+from repro.machine.spec import KB, MB, NODE_A
+
+from harness import RESULTS_DIR, fmt_size
+
+SIZES = [16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB, 64 * MB]
+
+
+def run_ablation():
+    comm = Communicator(64, machine=NODE_A, functional=False)
+    table = Tuner(comm).tune("allreduce", sizes=SIZES)
+    tuned_cfg = table.to_config()
+    paper_cfg = YHCCLConfig(imax=256 * KB)
+    out = {"table": table, "paper": {}, "tuned": {}}
+    for label, cfg in (("paper", paper_cfg), ("tuned", tuned_cfg)):
+        for s in SIZES:
+            c = Communicator(64, machine=NODE_A, functional=False)
+            out[label][s] = YHCCL(c, config=cfg).allreduce(
+                s, iterations=2
+            ).time
+    return out
+
+
+def test_ablation_tuning(benchmark):
+    res = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = res["table"]
+    lines = [table.render(), ""]
+    lines.append(
+        f"{'size':>8}{'paper config (us)':>20}{'tuned config (us)':>20}"
+        f"{'tuned/paper':>13}"
+    )
+    for s in SIZES:
+        p_t, t_t = res["paper"][s], res["tuned"][s]
+        lines.append(
+            f"{fmt_size(s):>8}{p_t * 1e6:>20.1f}{t_t * 1e6:>20.1f}"
+            f"{t_t / p_t:>13.2f}"
+        )
+    lines += [
+        "",
+        f"measured small-message switch: {table.switch_size()} bytes "
+        f"(paper hand tuning: 262144); measured Imax: "
+        f"{table.imax >> 10} KB (paper: 256 KB)",
+    ]
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_tuning.txt").write_text(text + "\n")
+    print("\n" + text)
+    # the measured Imax must be within 2x of the paper's hand tuning,
+    # and the tuned config must never lose badly to the hand tuning
+    assert 128 * KB <= table.imax <= 512 * KB
+    for s in SIZES:
+        assert res["tuned"][s] <= res["paper"][s] * 1.25, fmt_size(s)

@@ -1,0 +1,71 @@
+"""Figure 3: reduction copy-out overhead vs slice size (NodeA, 64 cores).
+
+Each rank copies a large shared-memory buffer to its private buffer
+with ``memmove`` at varying slice sizes.  Two C-library profiles stand
+in for the paper's icpc/gcc comparison (both exhibit the same cliff,
+at slightly different thresholds).
+
+Paper shape: overhead is flat-high for slices below 2 MB (memmove stays
+temporal: RFO + write-back), then collapses once memmove engages NT
+stores; paper magnitudes are ~165,000 us dropping to ~45,000 us.
+The paper's 256 MB source happens to exactly match NodeA's nominal L3;
+its measured 3.7x cliff implies the reads were effectively
+cache-resident, so the reproduction sizes the source to the simulated
+node's *usable* (de-rated) capacity — the mechanism, a pure store-path
+cliff, is identical.
+"""
+
+import pytest
+
+from repro.copyengine.stream import SlicedCopyBenchmark
+from repro.machine.spec import GB, KB, MB, NODE_A
+
+from harness import RESULTS_DIR, fmt_size
+
+SLICES = [256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB]
+PROFILES = {
+    "mpiicpc (icpc-like)": 2 * MB,
+    "mpicxx (gcc-like)": int(1.75 * MB),
+}
+
+
+def run_figure():
+    bench = SlicedCopyBenchmark(NODE_A, nranks=64, total_bytes=16 * GB)
+    rows = {}
+    for profile, threshold in PROFILES.items():
+        rows[profile] = {
+            s: bench.copy_out_overhead(160 * MB, s, nt_threshold=threshold)
+            for s in SLICES
+        }
+    return rows
+
+
+def test_fig03(benchmark):
+    rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    lines = [
+        "Figure 3: copy-out overhead for reduction (NodeA, 64 cores, "
+        "160 MB cache-resident source)",
+        "===========================================================",
+        "",
+        f"{'Slice':>8} " + "".join(f"{p:>24}" for p in rows),
+        "",
+    ]
+    for s in SLICES:
+        lines.insert(-1, f"{fmt_size(s):>8} " + "".join(
+            f"{rows[p][s].time_us:>22.0f}us" for p in rows
+        ))
+    lines.append("paper: ~165,000-180,000us below 2MB slices, "
+                 "~40,000-50,000us at 2MB+ (both compilers)")
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig03_copyout.txt").write_text(text + "\n")
+    print("\n" + text)
+    # the cliff: sub-threshold slices are substantially slower
+    for profile, threshold in PROFILES.items():
+        below = rows[profile][256 * KB].time
+        above = rows[profile][4 * MB].time
+        assert below > 1.5 * above, profile
+        # flat on both sides of the cliff
+        assert rows[profile][256 * KB].time == pytest.approx(
+            rows[profile][512 * KB].time, rel=0.1
+        )

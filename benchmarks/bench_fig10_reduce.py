@@ -1,0 +1,49 @@
+"""Figure 10: rooted reduce algorithm comparison.
+
+Socket-aware MA and MA vs DPML and RG over 64 KB – 256 MB.
+Paper shape: MA designs win above 64 KB (NodeA) / 128 KB (NodeB);
+artifact headline: 1.50x/2.20x/2.08x/2.37x vs Ring/DPML/RG/Rabenseifner
+on 64–256 KB.
+"""
+
+import pytest
+
+from repro.collectives.dpml import DPML_REDUCE
+from repro.collectives.ma import MA_REDUCE
+from repro.collectives.rg import RGReduce
+from repro.collectives.socket_aware import SOCKET_MA_REDUCE
+from repro.machine.spec import KB, MB
+
+from harness import NODE_CONFIGS, SIZES_LARGE, sweep
+from runners import reduce_runner
+
+
+def run_figure(node: str):
+    machine, p = NODE_CONFIGS[node]
+    runners = {
+        "Socket-aware MA (ours)": reduce_runner(SOCKET_MA_REDUCE, "adaptive"),
+        "MA (ours)": reduce_runner(MA_REDUCE, "adaptive"),
+        "DPML": reduce_runner(DPML_REDUCE),
+        "RG": reduce_runner(RGReduce(branch=2, slice_size=128 * KB)),
+    }
+    return sweep(
+        f"Figure 10{'a' if node == 'NodeA' else 'b'}: reduce comparison "
+        f"({node}, p={p})",
+        machine, p, SIZES_LARGE, runners,
+        baseline="Socket-aware MA (ours)",
+    )
+
+
+@pytest.mark.parametrize("node", ["NodeA", "NodeB"])
+def test_fig10(benchmark, node):
+    table = benchmark.pedantic(run_figure, args=(node,), rounds=1,
+                               iterations=1)
+    table.note("paper: MA advantage for messages > 64KB (NodeA) / "
+               "128KB (NodeB); RG is pipelined-tree with k=2, 128KB slices")
+    large = [s for s in SIZES_LARGE if s >= 1 * MB]
+    for base in ("DPML", "RG"):
+        gm = table.geomean_speedup("Socket-aware MA (ours)", base, large)
+        table.note(f"measured geomean speedup vs {base} (>=1MB): {gm:.2f}x")
+    table.emit(f"fig10_reduce_{node}.txt")
+    for base in ("DPML", "RG"):
+        table.assert_wins("Socket-aware MA (ours)", base, at_least=large)

@@ -1,0 +1,61 @@
+"""Figure 11: all-reduce algorithm comparison.
+
+Socket-aware MA and MA vs DPML, RG, Ring, Rabenseifner.
+Paper shape: MA designs significantly ahead on large messages; RG and
+Rabenseifner (logarithmic steps) lead below ~128 KB.
+"""
+
+import pytest
+
+from repro.collectives.dpml import DPML_ALLREDUCE
+from repro.collectives.ma import MA_ALLREDUCE
+from repro.collectives.rabenseifner import RABENSEIFNER_ALLREDUCE
+from repro.collectives.rg import RGAllreduce
+from repro.collectives.ring import RING_ALLREDUCE
+from repro.collectives.socket_aware import SOCKET_MA_ALLREDUCE
+from repro.machine.spec import KB, MB
+
+from harness import NODE_CONFIGS, SIZES_LARGE, sweep
+from runners import reduce_runner
+
+
+def run_figure(node: str):
+    machine, p = NODE_CONFIGS[node]
+    runners = {
+        "Socket-aware MA (ours)": reduce_runner(SOCKET_MA_ALLREDUCE,
+                                                "adaptive"),
+        "MA (ours)": reduce_runner(MA_ALLREDUCE, "adaptive"),
+        "DPML": reduce_runner(DPML_ALLREDUCE),
+        "RG": reduce_runner(RGAllreduce(branch=2, slice_size=128 * KB)),
+        "Ring": reduce_runner(RING_ALLREDUCE),
+        "Rabenseifner": reduce_runner(RABENSEIFNER_ALLREDUCE),
+    }
+    return sweep(
+        f"Figure 11{'a' if node == 'NodeA' else 'b'}: all-reduce "
+        f"comparison ({node}, p={p})",
+        machine, p, SIZES_LARGE, runners,
+        baseline="Socket-aware MA (ours)",
+    )
+
+
+@pytest.mark.parametrize("node", ["NodeA", "NodeB"])
+def test_fig11(benchmark, node):
+    table = benchmark.pedantic(run_figure, args=(node,), rounds=1,
+                               iterations=1)
+    table.note("paper NodeA absolute at 16MB: socket-MA 16.5ms; "
+               "at 64KB: 112us")
+    large = [s for s in SIZES_LARGE if s >= 2 * MB]
+    gm = table.geomean_speedup("Socket-aware MA (ours)", "DPML", large)
+    table.note(f"measured geomean speedup vs DPML (>=2MB): {gm:.2f}x")
+    table.note(
+        "model note: the simulated Ring/RG retain mid-size working sets "
+        "in the idealized region cache, so the MA crossover vs Ring "
+        "lands at ~8MB here (the deployed rings the paper measures pay "
+        "pt2pt overheads our idealized ring does not; see EXPERIMENTS.md)"
+    )
+    table.emit(f"fig11_allreduce_{node}.txt")
+    huge = [s for s in SIZES_LARGE if s >= 8 * MB]
+    for base in ("DPML", "Rabenseifner"):
+        table.assert_wins("Socket-aware MA (ours)", base, at_least=large)
+    for base in ("Ring", "RG"):
+        table.assert_wins("Socket-aware MA (ours)", base, at_least=huge)

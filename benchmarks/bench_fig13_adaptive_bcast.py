@@ -1,0 +1,51 @@
+"""Figure 13: adaptive NT stores in the pipelined broadcast.
+
+YHCCL (adaptive) vs t-copy / nt-copy / memmove with Imax = 1 MB.
+Paper shape: nt-copy useless on small messages, t-copy harmful on
+large; YHCCL matches the winner everywhere; ~29% peak gain vs memmove
+(artifact, 4 MB on NodeA).
+"""
+
+import pytest
+
+from repro.collectives.bcast import PIPELINED_BCAST
+from repro.machine.spec import KB, MB
+from repro.models.nt_model import nt_switch_message_size
+
+from harness import NODE_CONFIGS, SIZES_LARGE, sweep
+from runners import bcast_runner
+
+IMAX = 1 * MB
+SIZES = [16 * KB, 32 * KB] + SIZES_LARGE
+
+
+def run_figure(node: str):
+    machine, p = NODE_CONFIGS[node]
+    runners = {
+        "YHCCL": bcast_runner(PIPELINED_BCAST, "adaptive", imax=IMAX),
+        "t-copy": bcast_runner(PIPELINED_BCAST, "t", imax=IMAX),
+        "nt-copy": bcast_runner(PIPELINED_BCAST, "nt", imax=IMAX),
+        "Memmove": bcast_runner(PIPELINED_BCAST, "memmove", imax=IMAX),
+    }
+    return sweep(
+        f"Figure 13{'a' if node == 'NodeA' else 'b'}: adaptive broadcast "
+        f"({node}, p={p}, Imax=1MB)",
+        machine, p, SIZES, runners, baseline="YHCCL",
+    )
+
+
+@pytest.mark.parametrize("node", ["NodeA", "NodeB"])
+def test_fig13(benchmark, node):
+    machine, p = NODE_CONFIGS[node]
+    table = benchmark.pedantic(run_figure, args=(node,), rounds=1,
+                               iterations=1)
+    switch = nt_switch_message_size("bcast", machine, p, imax=IMAX)
+    table.note(f"predicted NT switch point: {switch / MB:.1f} MB")
+    table.emit(f"fig13_adaptive_bcast_{node}.txt")
+    large = [s for s in SIZES if s > 2 * switch]
+    small = [s for s in SIZES if s < switch]
+    table.assert_wins("YHCCL", "t-copy", at_least=large)
+    table.assert_wins("YHCCL", "Memmove", at_least=large)
+    for s in small:
+        # no loss where NT would hurt
+        assert table.time("YHCCL", s) <= table.time("nt-copy", s) * 1.001

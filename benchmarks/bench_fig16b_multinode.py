@@ -1,0 +1,48 @@
+"""Figure 16b: multi-node all-reduce, 1024 processes (16 NodeA nodes).
+
+YHCCL's hierarchical design (intra-node MA reduce-scatter, multi-lane
+inter-node ring, intra-node all-gather) vs leader-based vendor
+hierarchies.  Paper shape: 1.4-8.8x speedup on large messages; on small
+messages the tree-based MVAPICH2 / OMPI-hcoll win (log-depth network
+phase vs the ring's 2(N-1) steps).
+"""
+
+import pytest
+
+from repro.library.multinode import MultiNodeAllreduce
+from repro.machine.spec import KB, MB, NODE_A
+
+from harness import RESULTS_DIR, SIZES_WIDE, SweepTable, fresh_comm
+
+NNODES = 16
+IMPLS = ["YHCCL", "Intel MPI", "MVAPICH2", "MPICH", "OMPI-hcoll"]
+SIZES = SIZES_WIDE
+
+
+def run_figure():
+    table = SweepTable(
+        title=f"Figure 16b: multi-node all-reduce "
+        f"({NNODES} NodeA nodes, 1024 processes)",
+        sizes=SIZES,
+        baseline="YHCCL",
+    )
+    for impl in IMPLS:
+        for s in SIZES:
+            comm = fresh_comm(NODE_A, 64)
+            mn = MultiNodeAllreduce(comm, NNODES, implementation=impl)
+            table.add(impl, s, mn.allreduce(s).time)
+    return table
+
+
+def test_fig16b(benchmark):
+    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    large = [s for s in SIZES if s >= 8 * MB]
+    for impl in IMPLS[1:]:
+        gm = table.geomean_speedup("YHCCL", impl, large)
+        table.note(f"geomean speedup vs {impl} (>=8MB): {gm:.2f}x "
+                   "(paper: 1.4-8.8x on large messages)")
+    table.emit("fig16b_multinode.txt")
+    for impl in IMPLS[1:]:
+        table.assert_wins("YHCCL", impl, at_least=large)
+    # trees win on small messages across many nodes
+    assert table.time("OMPI-hcoll", 16 * KB) < table.time("YHCCL", 16 * KB)

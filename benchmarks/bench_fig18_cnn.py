@@ -1,0 +1,68 @@
+"""Figure 18: data-parallel CNN training throughput, 1-256 nodes.
+
+ResNet-50 and VGG-16 on Cluster C (24 processes/node): images/second
+for YHCCL (pipelined gradient exchange overlapping back-propagation)
+vs Open MPI (blocking per-tensor Horovod path).
+
+Paper shape: both scale near-linearly (log-log parallel lines);
+YHCCL's gap is 1.94x (ResNet-50) / 1.80x (VGG-16) at 6144 cores, with
+1.62x measured on a single node (artifact).
+"""
+
+import pytest
+
+from repro.apps.cnn import CNNTrainer, resnet50, vgg16
+from repro.machine.spec import CLUSTER_C
+
+from harness import RESULTS_DIR, fresh_comm
+
+NODES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def run_figure():
+    out = {}
+    for model_fn in (resnet50, vgg16):
+        model = model_fn()
+        out[model.name] = {}
+        for impl in ("YHCCL", "Open MPI"):
+            out[model.name][impl] = {}
+            for n in NODES:
+                comm = fresh_comm(CLUSTER_C, 24)
+                tr = CNNTrainer(comm, model, implementation=impl,
+                                nnodes=n, batch_per_rank=1)
+                out[model.name][impl][n] = tr.iteration()
+    return out
+
+
+def test_fig18(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    lines = [
+        "Figure 18: CNN training throughput (img/s), 24 procs/node, "
+        "Cluster C",
+        "=" * 66,
+    ]
+    for model in results:
+        lines += ["", f"{model}:",
+                  f"{'nodes':>6}{'Open MPI':>12}{'YHCCL':>12}{'speedup':>10}"]
+        for n in NODES:
+            y = results[model]["YHCCL"][n].images_per_second
+            o = results[model]["Open MPI"][n].images_per_second
+            lines.append(f"{n:>6}{o:>12.1f}{y:>12.1f}{y / o:>10.2f}")
+    lines += [
+        "",
+        "paper: 1.94x (ResNet-50) and 1.80x (VGG-16) at 256 nodes;",
+        "artifact: 1.62x single-node (ResNet-50, 24 ranks)",
+    ]
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig18_cnn.txt").write_text(text + "\n")
+    print("\n" + text)
+    for model in results:
+        for n in NODES:
+            y = results[model]["YHCCL"][n].images_per_second
+            o = results[model]["Open MPI"][n].images_per_second
+            assert 1.2 < y / o < 2.6, (model, n, y / o)
+        # near-linear scaling for YHCCL (log-log straight line)
+        y1 = results[model]["YHCCL"][1].images_per_second
+        y256 = results[model]["YHCCL"][256].images_per_second
+        assert 128 < y256 / y1 <= 280, model

@@ -1,0 +1,56 @@
+"""Table 4: sliced-copy memory bandwidth on NodeA (16 GB array).
+
+memmove / t-copy / nt-copy at 512 KB, 1 MB and 2 MB slices.
+Paper values (MB/s): memmove 147361/149686/232061, t-copy
+151731/152559/158386, nt-copy 236571/239518/237663 — the shape is
+nt ~1.5x t, with memmove jumping to the NT path at the 2 MB slice.
+"""
+
+from repro.copyengine.stream import SlicedCopyBenchmark
+from repro.machine.spec import GB, KB, MB, NODE_A
+
+from harness import RESULTS_DIR, fmt_size
+
+SLICES = [512 * KB, 1 * MB, 2 * MB]
+PAPER = {
+    "memmove": {512 * KB: 147361.4, 1 * MB: 149686.3, 2 * MB: 232060.8},
+    "t-copy": {512 * KB: 151731.1, 1 * MB: 152558.9, 2 * MB: 158386.0},
+    "nt-copy": {512 * KB: 236571.3, 1 * MB: 239518.3, 2 * MB: 237662.7},
+}
+POLICY = {"memmove": "memmove", "t-copy": "t", "nt-copy": "nt"}
+
+
+def run_table():
+    bench = SlicedCopyBenchmark(NODE_A, nranks=64, total_bytes=16 * GB)
+    return {
+        name: {s: bench.run_policy(kind, s) for s in SLICES}
+        for name, kind in POLICY.items()
+    }
+
+
+def test_table4(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    lines = [
+        "Table 4: sliced-copy bandwidth, 16 GB array on NodeA (MB/s)",
+        "===========================================================",
+        "",
+        f"{'slice':>8}" + "".join(
+            f"{name + ' (sim/paper)':>28}" for name in rows
+        ),
+    ]
+    for s in SLICES:
+        row = f"{fmt_size(s):>8}"
+        for name in rows:
+            sim = rows[name][s].bandwidth / 1e6
+            row += f"{sim:>15.0f} /{PAPER[name][s]:>10.0f}"
+        lines.append(row)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table4_stream.txt").write_text(text + "\n")
+    print("\n" + text)
+    # shape: nt ~1.5x t at every slice; memmove switches at 2MB
+    for s in SLICES:
+        ratio = rows["nt-copy"][s].bandwidth / rows["t-copy"][s].bandwidth
+        assert 1.3 < ratio < 1.7
+    assert rows["memmove"][512 * KB].bandwidth < rows["nt-copy"][512 * KB].bandwidth * 0.75
+    assert rows["memmove"][2 * MB].bandwidth > rows["t-copy"][2 * MB].bandwidth * 1.3

@@ -1,0 +1,14 @@
+"""Benchmark suite configuration.
+
+Each benchmark reproduces one table or figure from the paper; run with
+
+    pytest benchmarks/ --benchmark-only
+
+Tables are printed and written to ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# make `harness` importable when pytest's rootdir differs
+sys.path.insert(0, str(Path(__file__).parent))

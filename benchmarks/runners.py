@@ -1,0 +1,85 @@
+"""Per-implementation runner factories for the benchmark sweeps.
+
+A runner is ``fn(comm, nbytes) -> seconds`` (simulated completion time).
+The tuning mirrors Section 5.3: MA slice caps of 256 KB (NodeA) /
+128 KB (NodeB), DPML's 8 KB reduction block, RG with branch 2 and
+128 KB slices; the published baselines run with ``memmove`` copies
+(their implementations' store path), the YHCCL designs with the
+adaptive copy unless a specific policy is requested.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.common import (
+    run_allgather_collective,
+    run_bcast_collective,
+    run_reduce_collective,
+)
+from repro.library.mpi import MPILibrary
+from repro.library.yhccl import YHCCL
+from repro.machine.spec import KB
+
+
+def platform_imax(machine) -> int:
+    return {"NodeA": 256 * KB, "NodeB": 128 * KB}.get(machine.name, 128 * KB)
+
+
+#: steady-state measurement: warm-up iteration + measured iteration,
+#: mirroring the paper's OSU-style loops
+ITERATIONS = 2
+
+
+def reduce_runner(alg, policy: str = "memmove", imax=None, root: int = 0):
+    """Directly drive one reduction-family algorithm."""
+
+    def run(comm, nbytes):
+        cap = imax or platform_imax(comm.machine)
+        res = run_reduce_collective(
+            alg, comm.engine, nbytes, copy_policy=policy, imax=cap,
+            root=root, iterations=ITERATIONS,
+        )
+        return res.time
+
+    return run
+
+
+def bcast_runner(alg, policy: str = "memmove", imax=None, root: int = 0):
+    def run(comm, nbytes):
+        res = run_bcast_collective(
+            alg, comm.engine, nbytes, copy_policy=policy,
+            imax=imax or platform_imax(comm.machine), root=root,
+            iterations=ITERATIONS,
+        )
+        return res.time
+
+    return run
+
+
+def allgather_runner(alg, policy: str = "memmove", imax=None):
+    def run(comm, nbytes):
+        res = run_allgather_collective(
+            alg, comm.engine, nbytes, copy_policy=policy,
+            imax=imax or platform_imax(comm.machine),
+            iterations=ITERATIONS,
+        )
+        return res.time
+
+    return run
+
+
+def yhccl_runner(kind: str):
+    """The full YHCCL stack (switching + socket-aware MA + adaptive copy)."""
+
+    def run(comm, nbytes):
+        lib = YHCCL(comm)
+        return getattr(lib, kind)(nbytes, iterations=ITERATIONS).time
+
+    return run
+
+
+def vendor_runner(vendor: str, kind: str):
+    def run(comm, nbytes):
+        lib = MPILibrary(comm, vendor)
+        return getattr(lib, kind)(nbytes, iterations=ITERATIONS).time
+
+    return run

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Auto-tune the collective library on a simulated machine.
+
+Sweeps the candidate algorithms and MA slice caps on NodeA, prints the
+measured decision table, and compares a YHCCL instance configured from
+it against the paper's hand-tuned defaults — the measurement-driven
+version of Section 5.1's tuning.
+
+Run:  python examples/autotuning.py
+"""
+
+from repro import Communicator, NODE_A, YHCCL
+from repro.collectives.switching import YHCCLConfig
+from repro.library.tuner import Tuner
+
+KB, MB = 1024, 1 << 20
+
+
+def main() -> None:
+    comm = Communicator(64, machine=NODE_A)
+    print("measuring the allreduce decision table on NodeA (p=64)...\n")
+    table = Tuner(comm).tune("allreduce")
+    print(table.render())
+    switch = table.switch_size()
+    print(f"\nempirical small-message switch: {switch} "
+          f"(paper hand tuning: 262144)")
+    print(f"empirical Imax: {table.imax >> 10} KB (paper: 256 KB)\n")
+
+    tuned = table.to_config()
+    paper = YHCCLConfig(imax=256 * KB)
+    print(f"{'size':>8}{'paper cfg':>12}{'tuned cfg':>12}")
+    for s in (16 * KB, 256 * KB, 4 * MB, 64 * MB):
+        row = []
+        for cfg in (paper, tuned):
+            c = Communicator(64, machine=NODE_A)
+            row.append(YHCCL(c, config=cfg).allreduce(
+                s, iterations=2).time_us)
+        print(f"{s >> 10:>6}KB{row[0]:>10.1f}us{row[1]:>10.1f}us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Data-parallel CNN training: Figure 18's application experiment.
+
+Trains ResNet-50 and VGG-16 (layer tables with real parameter counts)
+data-parallel on Cluster C nodes: the YHCCL path fuses gradient tensors
+and overlaps the exchange with back-propagation, the baseline serializes
+a per-tensor blocking Horovod path.  Also verifies — with real numpy
+gradients through the simulated library — that data-parallel averaging
+is numerically exact.
+
+Run:  python examples/cnn_training.py
+"""
+
+from repro import Communicator, CLUSTER_C
+from repro.apps.cnn import CNNTrainer, resnet50, vgg16
+
+
+def main() -> None:
+    print("verifying gradient averaging through the simulated "
+          "MA all-reduce ...", end=" ")
+    CNNTrainer.verify_gradient_averaging(nranks=8, params=4096)
+    print("exact.\n")
+
+    for model_fn in (resnet50, vgg16):
+        model = model_fn()
+        print(f"{model.name}: {model.params / 1e6:.1f}M parameters, "
+              f"{model.gradient_bytes >> 20} MB gradients, "
+              f"{sum(l.tensors for l in model.layers)} tensors")
+        print(f"{'nodes':>6}{'Open MPI':>12}{'YHCCL':>12}{'speedup':>10}"
+              f"   (img/s, 24 procs/node)")
+        for n in (1, 4, 16, 64, 256):
+            rows = {}
+            for impl in ("Open MPI", "YHCCL"):
+                comm = Communicator(24, machine=CLUSTER_C)
+                tr = CNNTrainer(comm, model, implementation=impl,
+                                nnodes=n, batch_per_rank=1)
+                rows[impl] = tr.iteration()
+            o = rows["Open MPI"].images_per_second
+            y = rows["YHCCL"].images_per_second
+            print(f"{n:>6}{o:>12.1f}{y:>12.1f}{y / o:>10.2f}")
+        print()
+    print("paper: 1.94x (ResNet-50) / 1.80x (VGG-16) at 256 nodes; "
+          "1.62x single-node (artifact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The Section 3 theory, executable: sliced reduction trees, Equation 1
+volumes, Theorem 3.1, and brute-force optimality.
+
+* formalizes DPML's and the movement-avoiding (MA) reduction trees and
+  prints their per-tree copy volumes;
+* exhaustively enumerates every valid reduction tree for p=3 to show
+  the 2*I lower bound is tight and reached by the MA construction;
+* cross-checks the formalism against the executable collectives: the
+  simulated MA reduce-scatter's measured copy volume equals the bound.
+
+Run:  python examples/reduction_tree_optimality.py
+"""
+
+from collections import Counter
+
+from repro import Communicator, NODE_A
+from repro.collectives.common import run_reduce_collective
+from repro.collectives.ma import MA_REDUCE_SCATTER
+from repro.collectives.reduction_tree import (
+    dpml_tree,
+    enumerate_trees,
+    ma_tree,
+    theorem_3_1_holds,
+)
+
+KB = 1024
+
+
+def formal_constructions() -> None:
+    print("1. Formal reduction trees (slice size I = 1)")
+    for p in (3, 4, 8, 64):
+        ma_v = ma_tree(p, 0).copy_volume(1)
+        dpml_v = dpml_tree(p, 0).copy_volume(1)
+        print(f"   p={p:>2}: V(MA tree) = {ma_v}   "
+              f"V(DPML tree, Eq.1) = {dpml_v}   (lower bound = 2)")
+    print()
+
+
+def exhaustive_p3() -> None:
+    print("2. Exhaustive search over every valid tree for p=3")
+    volumes = Counter()
+    n = 0
+    for tree in enumerate_trees(3):
+        assert theorem_3_1_holds(tree)
+        volumes[tree.copy_volume(1)] += 1
+        n += 1
+    print(f"   {n} valid trees; copy-volume histogram: "
+          f"{dict(sorted(volumes.items()))}")
+    print(f"   minimum = {min(volumes)} = 2*I — achieved by "
+          f"{volumes[min(volumes)]} trees, the MA construction among "
+          f"them\n")
+
+
+def simulator_agrees() -> None:
+    print("3. The executable MA reduce-scatter achieves the bound")
+    s = 64 * KB
+    comm = Communicator(64, machine=NODE_A, trace=True)
+    comm.engine.trace.records.clear()
+    run_reduce_collective(MA_REDUCE_SCATTER, comm.engine, s, imax=256 * KB)
+    copied = comm.engine.trace.copy_bytes()
+    print(f"   message s = {s >> 10} KB on 64 ranks: bytes copied into "
+          f"shared memory = {copied >> 10} KB")
+    print(f"   = exactly s (one slice per group -> copy DAV 2s, "
+          f"Theorem 3.1's minimum)")
+
+
+if __name__ == "__main__":
+    formal_constructions()
+    exhaustive_p3()
+    simulator_agrees()

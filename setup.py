@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work on environments whose
+setuptools lacks PEP 660 editable-wheel support (no ``wheel`` package).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

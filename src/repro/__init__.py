@@ -1,0 +1,33 @@
+"""repro — reproduction of *Optimizing MPI Collectives on Shared Memory
+Multi-Cores* (SC '23): the YHCCL collective library on a simulated
+multi-core memory hierarchy.
+
+Quickstart::
+
+    from repro import Communicator, YHCCL, NODE_A
+
+    comm = Communicator(nranks=64, machine=NODE_A)
+    lib = YHCCL(comm)
+    r = lib.allreduce(nbytes=16 << 20)
+    print(f"{r.time_us:.0f} us, DAV {r.dav} bytes via {r.algorithm}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.machine import CLUSTER_C, NODE_A, NODE_B, MachineSpec
+from repro.library import Communicator, MPILibrary, Profiler, YHCCL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLUSTER_C",
+    "NODE_A",
+    "NODE_B",
+    "MachineSpec",
+    "Communicator",
+    "MPILibrary",
+    "Profiler",
+    "YHCCL",
+    "__version__",
+]

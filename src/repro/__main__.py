@@ -1,0 +1,116 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands
+--------
+
+``osu <collective>``
+    OSU-micro-benchmark-style latency sweep on a simulated node
+    (the artifact's Appendix C.3 workflow).
+
+``compare <collective>``
+    The artifact's S3 step: YHCCL priority=100 vs priority=0 (vendor
+    fallback), side by side.
+
+``report``
+    Collect the benchmark suite's result tables into one markdown
+    report (run ``pytest benchmarks/ --benchmark-only`` first).
+
+``info``
+    Print the machine presets and registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.library.mpi import ALGORITHMS, implementations
+from repro.library.osu import COLLECTIVES, DEFAULT_RANGE, OSUBenchmark, \
+    compare_priorities
+from repro.machine.spec import PRESETS
+
+
+def _parse_range(text: str) -> tuple:
+    lo, _, hi = text.partition(":")
+    return (int(lo), int(hi or lo))
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("collective", choices=COLLECTIVES)
+    p.add_argument("-n", "--nranks", type=int, default=64)
+    p.add_argument("--machine", default="NodeA", choices=sorted(PRESETS))
+    p.add_argument("-m", "--msg-range", type=_parse_range,
+                   default=DEFAULT_RANGE, metavar="LO:HI")
+    p.add_argument("--vendor", default="Open MPI",
+                   choices=implementations())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="YHCCL reproduction: simulated collective benchmarks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    osu = sub.add_parser("osu", help="OSU-style latency sweep")
+    _add_common(osu)
+    osu.add_argument("-c", "--validate", action="store_true",
+                     help="functional validation (slower; real payloads)")
+    osu.add_argument("--no-yhccl", action="store_true",
+                     help="disable YHCCL (vendor fallback, priority=0)")
+
+    cmp_p = sub.add_parser("compare", help="YHCCL on vs off, side by side")
+    _add_common(cmp_p)
+
+    sub.add_parser("info", help="presets and algorithm registry")
+
+    rep = sub.add_parser("report", help="assemble benchmark result report")
+    rep.add_argument("--results", default="benchmarks/results")
+    rep.add_argument("--out", default="")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        print("machine presets:")
+        for name, m in PRESETS.items():
+            print(f"  {name}: {m.sockets}x{m.socket.cores} cores, "
+                  f"L3 {m.socket.l3.size >> 20}MB"
+                  f"{'' if m.socket.l3.inclusive else ' (non-inclusive)'}")
+        print("\nvendor models:", ", ".join(implementations()))
+        print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+        return 0
+
+    if args.command == "osu":
+        bench = OSUBenchmark(
+            args.collective, nranks=args.nranks, machine=args.machine,
+            msg_range=args.msg_range, validate=args.validate,
+            use_yhccl=not args.no_yhccl, vendor=args.vendor,
+        )
+        print(bench.render(bench.run()))
+        return 0
+
+    if args.command == "report":
+        from pathlib import Path
+
+        from repro.reporting import build_report, write_report
+
+        results = Path(args.results)
+        if args.out:
+            path = write_report(results, Path(args.out))
+            print(f"wrote {path}")
+        else:
+            print(build_report(results))
+        return 0
+
+    if args.command == "compare":
+        print(compare_priorities(
+            args.collective, nranks=args.nranks, machine=args.machine,
+            msg_range=args.msg_range, vendor=args.vendor,
+        ))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Application workloads driving the collective library (Section 5.6):
+the MiniAMR adaptive-mesh-refinement proxy app and data-parallel CNN
+training (ResNet-50 / VGG-16 via a Horovod-style trainer).
+"""
+
+from repro.apps.miniamr import MiniAMR, MiniAMRConfig, MiniAMRResult
+from repro.apps.cnn import (
+    CNNTrainer,
+    TrainingResult,
+    MODELS,
+    resnet50,
+    vgg16,
+)
+
+__all__ = [
+    "MiniAMR",
+    "MiniAMRConfig",
+    "MiniAMRResult",
+    "CNNTrainer",
+    "TrainingResult",
+    "MODELS",
+    "resnet50",
+    "vgg16",
+]

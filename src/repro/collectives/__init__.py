@@ -1,0 +1,27 @@
+"""Collective algorithms: the paper's movement-avoiding designs, the
+published baselines they are compared against, and vendor-MPI models.
+
+Every algorithm is expressed as a *rank program* (a generator over a
+:class:`~repro.sim.engine.RankCtx`) so that one implementation serves
+both functional verification (real numpy data) and timing simulation
+(virtual buffers on a machine model).
+"""
+
+from repro.collectives.common import (
+    CollectiveEnv,
+    compute_slice_size,
+    partition,
+    run_reduce_collective,
+    run_bcast_collective,
+    run_allgather_collective,
+    IMIN_DEFAULT,
+)
+__all__ = [
+    "CollectiveEnv",
+    "compute_slice_size",
+    "partition",
+    "run_reduce_collective",
+    "run_bcast_collective",
+    "run_allgather_collective",
+    "IMIN_DEFAULT",
+]

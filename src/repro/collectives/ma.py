@@ -1,0 +1,278 @@
+"""Movement-avoiding (MA) reduction collectives (Sections 3.2–3.5).
+
+The MA pipeline realizes the optimal reduction tree ``A'`` (Figure 5):
+for each slice group exactly *one* slice is copied into shared memory
+(by the rank "behind" the group's owner), and every subsequent step's
+executor contributes the slice already sitting in its private send
+buffer — so the copy DAV per group meets the Theorem 3.1 lower bound of
+``2*I``.
+
+Concretely (Figure 6, Algorithm 2): at step ``j`` rank ``r`` works on
+partition ``(j + r + 1) mod p``; step 0 copies, steps ``1..p-2``
+accumulate ``A += B`` in the shared slot, and the final step is executed
+by the partition's owner — writing straight into the owner's receiving
+buffer for reduce-scatter, or accumulating in shared memory when a
+copy-out phase follows (allreduce/reduce).
+
+Messages larger than ``p * I`` are processed in rounds that reuse a
+``p * I``-byte shared-memory window so the working set stays
+cache-resident.  Synchronization between neighbouring steps of one slice
+is flag-based (the paper's atomic flags): ``p - 1`` waits per rank per
+round.  Reduce-scatter needs no barriers at all — window-slot reuse is
+ordered by per-slice ``consumed`` flags; the allreduce/reduce copy-out
+phase is bracketed by node barriers as in Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.collectives.common import (
+    CollectiveEnv,
+    compute_slice_size,
+    partition,
+    subslices,
+)
+
+
+def member_partitions(env: CollectiveEnv, members: Sequence[int]):
+    """Partitioning, sub-slice table, round count and slice size for an
+    MA instance over ``members``.
+
+    ``env.params["partition"]`` overrides the uniform split when it
+    matches the member count — the hook the v-variant collectives use
+    for arbitrary per-rank block sizes.
+    """
+    p_local = len(members)
+    i_size = compute_slice_size(env.s, p_local, env.imax, env.imin)
+    override = env.params.get("partition")
+    if override is not None and len(override) == p_local:
+        parts = [tuple(x) for x in override]
+    else:
+        parts = partition(env.s, p_local)
+    subs = [subslices(off, length, i_size) for off, length in parts]
+    rounds = max((len(x) for x in subs), default=0)
+    return parts, subs, rounds, i_size
+
+
+def ma_pipeline(ctx, env: CollectiveEnv, members: Sequence[int], *,
+                shm_off: int = 0, layout: str = "window",
+                final: str = "scatter", tag: object = ("ma",),
+                dests=None,
+                round_consumer: Optional[Callable] = None) -> object:
+    """The MA reduction pipeline for one rank (a generator).
+
+    Parameters
+    ----------
+    members:
+        Participating ranks in pipeline order.  Plain MA passes all
+        ranks; the socket-aware variant passes one socket's ranks.
+    shm_off:
+        Byte offset of this instance's area within ``env.shm``.
+    layout:
+        ``"window"`` — a reused ``p_local * I`` window (plain MA);
+        ``"full"`` — partition slices at their natural message offsets
+        in a persistent ``s``-byte segment (socket-aware level 1).
+    final:
+        ``"scatter"`` — last step writes ``C = A + B`` to the owner's
+        destination; window reuse is ordered by ``consumed`` flags.
+        ``"shm"`` — last step accumulates into shared memory; with
+        ``layout="window"`` a ``round_consumer(t, round_slices)``
+        callback then runs between two member barriers (Algorithm 2's
+        copy-out phase); ``round_slices`` is ``[(i, off, n, slot_view)]``.
+    dests:
+        For ``final="scatter"``: per-local-index ``(buffer, base)``
+        destinations; defaults to each member's recvbuf at offset 0
+        (MPI reduce-scatter block semantics).
+    """
+    if layout not in ("window", "full"):
+        raise ValueError(f"bad layout {layout!r}")
+    if final not in ("scatter", "shm"):
+        raise ValueError(f"bad final mode {final!r}")
+    if final == "shm" and layout == "window" and round_consumer is None:
+        # window slots are recycled every round; without the consumer's
+        # barriers nothing orders the recycling and data would corrupt
+        raise ValueError(
+            "windowed shm-mode pipeline requires a round_consumer"
+        )
+    members = list(members)
+    p_local = len(members)
+    q = members.index(ctx.rank)
+    parts, subs, rounds, i_size = member_partitions(env, members)
+    send = env.sendbufs[ctx.rank]
+    barrier_rounds = final == "shm" and (layout == "window") and \
+        round_consumer is not None
+
+    def slot_view(i: int, off: int, n: int):
+        if layout == "window":
+            return env.shm.view(shm_off + i * i_size, n)
+        return env.shm.view(shm_off + off, n)
+
+    if p_local == 1:
+        yield from _single_member(ctx, env, members, subs, parts, final,
+                                  slot_view, dests, round_consumer)
+        return
+
+    for t in range(rounds):
+        for j in range(p_local):
+            i = (j + q + 1) % p_local
+            if t >= len(subs[i]):
+                continue
+            off, n = subs[i][t]
+            slot = slot_view(i, off, n)
+            if j == 0:
+                if layout == "window" and t > 0 and not barrier_rounds:
+                    # Recycled slot: wait until round t-1 was consumed.
+                    yield ctx.wait((tag, "consumed", i, t - 1))
+                env.copy(ctx, slot, send.view(off, n), t_flag=False)
+            else:
+                yield ctx.wait((tag, "chain", i, t, j - 1))
+                if j == p_local - 1 and final == "scatter":
+                    assert i == q, "final step must land on the owner"
+                    buf, base = _dest_for(env, members, q, dests)
+                    dst = buf.view(base + (off - parts[q][0]), n)
+                    ctx.reduce_out(dst, slot, send.view(off, n), op=env.op)
+                    ctx.post((tag, "consumed", i, t))
+                else:
+                    ctx.reduce_acc(slot, send.view(off, n), op=env.op)
+            ctx.post((tag, "chain", i, t, j))
+        if barrier_rounds:
+            # All of round t's sums are final after the barrier; the
+            # consumer (copy-out) runs, and the closing barrier makes
+            # slot recycling in round t+1 safe.
+            yield ctx.barrier(members)
+            round_slices = [
+                (i, *subs[i][t], slot_view(i, *subs[i][t]))
+                for i in range(p_local)
+                if t < len(subs[i])
+            ]
+            round_consumer(t, round_slices)
+            yield ctx.barrier(members)
+
+
+def _single_member(ctx, env, members, subs, parts, final, slot_view, dests,
+                   round_consumer):
+    """Degenerate one-participant pipeline (p_local == 1)."""
+    send = env.sendbufs[ctx.rank]
+    for t in range(len(subs[0])):
+        off, n = subs[0][t]
+        if final == "scatter":
+            buf, base = _dest_for(env, members, 0, dests)
+            ctx.copy(buf.view(base + (off - parts[0][0]), n),
+                     send.view(off, n), nt=False)
+        else:
+            slot = slot_view(0, off, n)
+            env.copy(ctx, slot, send.view(off, n), t_flag=False)
+            if round_consumer is not None:
+                round_consumer(t, [(0, off, n, slot)])
+    return
+    yield  # pragma: no cover - marks this as a generator
+
+
+def _dest_for(env: CollectiveEnv, members, q: int, dests):
+    if dests is not None:
+        return dests[q]
+    return env.recvbufs[members[q]], 0
+
+
+class MAReduceScatter:
+    """Movement-avoiding reduce-scatter (Section 3.3, Figure 6).
+
+    DAV per node: ``s * (3p - 1)`` — Table 1's YHCCL row.
+    """
+
+    name = "ma-reduce-scatter"
+    kind = "reduce_scatter"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return env.s * env.p + env.s + env.p * env.slice_size()
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.p * env.slice_size()
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s), env.sendbufs[0].view(0, env.s))
+            return
+        yield from ma_pipeline(
+            ctx, env, range(env.p), shm_off=0, layout="window",
+            final="scatter", tag=("ma-rs",),
+        )
+
+
+class MAAllreduce:
+    """Movement-avoiding all-reduce (Section 3.4, Algorithm 2).
+
+    Windowed MA reduction into shared memory; after each round's
+    barrier every rank copies the window to its receiving buffer with
+    the copy-out flagged non-temporal.  DAV per node: ``s * (5p - 1)``
+    — Table 2's YHCCL row.
+    """
+
+    name = "ma-allreduce"
+    kind = "allreduce"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        # Algorithm 2 line 2: W = s*p + s*p + p*I.
+        return 2 * env.s * env.p + env.p * env.slice_size()
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.p * env.slice_size()
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s), env.sendbufs[0].view(0, env.s))
+            return
+        recv = env.recvbufs[ctx.rank]
+
+        def consumer(t, round_slices):
+            for _, off, n, slot in round_slices:
+                env.copy_out(ctx, recv.view(off, n), slot)
+
+        yield from ma_pipeline(
+            ctx, env, range(env.p), shm_off=0, layout="window",
+            final="shm", tag=("ma-ar",), round_consumer=consumer,
+        )
+
+
+class MAReduce:
+    """Movement-avoiding rooted reduce (Section 3.5).
+
+    Windowed MA reduction into shared memory; the root copies each
+    round's window into its receiving buffer.  DAV per node:
+    ``s * (3p + 1)`` — Table 3's YHCCL row.
+    """
+
+    name = "ma-reduce"
+    kind = "reduce"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return env.s * env.p + env.s + env.p * env.slice_size()
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.p * env.slice_size()
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s), env.sendbufs[0].view(0, env.s))
+            return
+        recv = env.recvbufs[env.root]
+
+        def consumer(t, round_slices):
+            if ctx.rank != env.root:
+                return
+            for _, off, n, slot in round_slices:
+                # The root drains the window alone; its peers idle at
+                # the closing barrier, so it sees the full socket bw.
+                env.copy(ctx, recv.view(off, n), slot, t_flag=True,
+                         concurrency=1)
+
+        yield from ma_pipeline(
+            ctx, env, range(env.p), shm_off=0, layout="window",
+            final="shm", tag=("ma-r",), round_consumer=consumer,
+        )
+
+
+MA_REDUCE_SCATTER = MAReduceScatter()
+MA_ALLREDUCE = MAAllreduce()
+MA_REDUCE = MAReduce()

@@ -1,0 +1,83 @@
+"""Reduction operator registry.
+
+MPI reduction operators carry a commutativity contract: the predefined
+ones (``MPI_SUM`` etc.) are commutative, but user-defined operators may
+be declared non-commutative, in which case the library **must** combine
+contributions in rank order with consistent parenthesization.  The
+movement-avoiding and DPML designs freely reorder the reduction (that is
+where their parallelism comes from), so YHCCL's routing — like every
+production MPI — has to fall back to an order-preserving algorithm for
+non-commutative operators (see :mod:`repro.collectives.ordered` and the
+``switching`` layer).
+
+Operators are looked up by name; :func:`register_op` adds user-defined
+ones.  ``sub`` ships as the canonical non-commutative example (used by
+tests to prove both that the ordered path is correct and that the
+reordering algorithms would get it wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """One reduction operator.
+
+    ``ufunc(a, b, out=...)`` combines elementwise; ``commutative``
+    declares whether the library may reorder contributions.
+    """
+
+    name: str
+    ufunc: Callable
+    commutative: bool = True
+
+    def __call__(self, a, b, out=None):
+        return self.ufunc(a, b, out=out)
+
+
+_REGISTRY: dict[str, ReduceOp] = {}
+
+
+def register_op(name: str, ufunc: Callable, *,
+                commutative: bool = True,
+                replace: bool = False) -> ReduceOp:
+    """Register an operator; returns the :class:`ReduceOp`."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"operator {name!r} already registered")
+    op = ReduceOp(name=name, ufunc=ufunc, commutative=commutative)
+    _REGISTRY[name] = op
+    return op
+
+
+def get_op(name: str) -> ReduceOp:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {name!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def op_names() -> list:
+    return sorted(_REGISTRY)
+
+
+def is_commutative(name: str) -> bool:
+    return get_op(name).commutative
+
+
+# ---- predefined operators --------------------------------------------------
+
+register_op("sum", np.add)
+register_op("prod", np.multiply)
+register_op("max", np.maximum)
+register_op("min", np.minimum)
+#: the canonical non-commutative example: a left fold of `-` depends on
+#: rank order, so it exercises the ordered code path end to end
+register_op("sub", np.subtract, commutative=False)

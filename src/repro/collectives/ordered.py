@@ -1,0 +1,143 @@
+"""Order-preserving reduction collectives for non-commutative operators.
+
+When the operator may not be reordered, the reduction must evaluate
+
+    ((((s_0 op s_1) op s_2) op ... ) op s_{p-1})
+
+— a left fold in rank order.  The chain is inherently serial across
+ranks, but *pipelining over slices* recovers most of the parallelism:
+while rank 2 folds slice t, rank 1 folds slice t+1 — the classic
+systolic pipeline, with fill time ``p * t_slice`` and steady-state
+throughput one slice per stage.
+
+DAV per node: rank 0 copies in (``2s``), ranks 1..p-1 fold in place
+(``3s`` each) → ``s(3p - 1)``; the allreduce adds the ``2sp`` copy-out.
+Identical leading terms to the MA designs — ordered evaluation costs
+order, not bytes.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.common import (
+    CollectiveEnv,
+    compute_slice_size,
+    partition,
+    subslices,
+)
+
+
+def _chain(ctx, env: CollectiveEnv, *, tag) -> object:
+    """The slice-pipelined left fold into shared memory (generator).
+
+    Shared memory holds the running partial at natural offsets; rank
+    ``r`` folds its contribution into slice ``t`` after rank ``r-1``
+    finished that slice.  Rank ``p-1``'s flag marks the slice final.
+    """
+    p, r, s = env.p, ctx.rank, env.s
+    i_size = compute_slice_size(s, p, env.imax, env.imin)
+    send = env.sendbufs[r]
+    for t, (off, n) in enumerate(subslices(0, s, i_size)):
+        slot = env.shm.view(off, n)
+        if r == 0:
+            env.copy(ctx, slot, send.view(off, n), t_flag=False)
+        else:
+            yield ctx.wait((tag, "chain", t, r - 1))
+            # ordered: partial (op) my contribution — operand order
+            # matters, the partial is the left operand
+            ctx.reduce_out(slot, slot, send.view(off, n), op=env.op)
+        ctx.post((tag, "chain", t, r))
+
+
+class OrderedReduce:
+    """Left-fold rooted reduce (non-commutative-safe)."""
+
+    name = "ordered-reduce"
+    kind = "reduce"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return env.s * env.p + env.s + self.shm_bytes(env)
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.s
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s),
+                     env.sendbufs[0].view(0, env.s))
+            return
+        tag = ("ord-r",)
+        yield from _chain(ctx, env, tag=tag)
+        if ctx.rank == env.root:
+            p, s = env.p, env.s
+            i_size = compute_slice_size(s, p, env.imax, env.imin)
+            for t, (off, n) in enumerate(subslices(0, s, i_size)):
+                yield ctx.wait((tag, "chain", t, p - 1))
+                env.copy(ctx, env.recvbufs[env.root].view(off, n),
+                         env.shm.view(off, n), t_flag=True, concurrency=1)
+
+
+class OrderedAllreduce:
+    """Left-fold allreduce: chain + all-rank copy-out."""
+
+    name = "ordered-allreduce"
+    kind = "allreduce"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return 2 * env.s * env.p + self.shm_bytes(env)
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.s
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s),
+                     env.sendbufs[0].view(0, env.s))
+            return
+        tag = ("ord-ar",)
+        yield from _chain(ctx, env, tag=tag)
+        p, s = env.p, env.s
+        recv = env.recvbufs[ctx.rank]
+        i_size = compute_slice_size(s, p, env.imax, env.imin)
+        for t, (off, n) in enumerate(subslices(0, s, i_size)):
+            yield ctx.wait((tag, "chain", t, p - 1))
+            env.copy_out(ctx, recv.view(off, n), env.shm.view(off, n))
+
+
+class OrderedReduceScatter:
+    """Left-fold reduce-scatter: chain + per-rank block copy-out."""
+
+    name = "ordered-reduce-scatter"
+    kind = "reduce_scatter"
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return env.s * env.p + env.s + self.shm_bytes(env)
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        return env.s
+
+    def program(self, ctx, env: CollectiveEnv):
+        if env.p == 1:
+            ctx.copy(env.recvbufs[0].view(0, env.s),
+                     env.sendbufs[0].view(0, env.s))
+            return
+        tag = ("ord-rs",)
+        yield from _chain(ctx, env, tag=tag)
+        p, s = env.p, env.s
+        i_size = compute_slice_size(s, p, env.imax, env.imin)
+        off0, length = partition(s, p)[ctx.rank]
+        slices = subslices(0, s, i_size)
+        for off, n in subslices(off0, length, i_size):
+            # a block piece may straddle two chain slices; the chain
+            # finishes slices in ascending order, so waiting on the one
+            # containing the piece's last byte covers all of it
+            end = off + n - 1
+            t = next(i for i, (so, sn) in enumerate(slices)
+                     if so <= end < so + sn)
+            yield ctx.wait((tag, "chain", t, p - 1))
+            env.copy(ctx, env.recvbufs[ctx.rank].view(off - off0, n),
+                     env.shm.view(off, n), t_flag=True)
+
+
+ORDERED_REDUCE = OrderedReduce()
+ORDERED_ALLREDUCE = OrderedAllreduce()
+ORDERED_REDUCE_SCATTER = OrderedReduceScatter()

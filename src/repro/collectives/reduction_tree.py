@@ -1,0 +1,288 @@
+"""The sliced-reduction formalism of Section 3.1.
+
+With ``p`` processes, each sending buffer is chunked into ``p`` slices;
+``s(i, j)`` is slice ``j`` of process ``i``'s buffer and the group
+``G_i = {s(1,i), ..., s(p,i)}`` collects the i-th slice of every buffer.
+Any shared-memory reduction of ``G_i`` is a binary *reduction tree*
+``T_i = [T_i1, ..., T_i(p-1)]`` whose node ``T_ij = [r, a, b]`` says
+process ``r`` reduces operands ``a`` and ``b`` (each either a send-buffer
+slice or the result of an earlier node) into shared memory.
+
+This module implements:
+
+* operand/node data types and the constraint set ``C`` (Equation 2);
+* the copy data-access volume ``V(T_ij)`` (Equation 1) and tree/algorithm
+  totals (Equation 3's objective);
+* formal constructions of the DPML tree and the paper's
+  movement-avoiding tree ``A'`` (Figure 5);
+* a brute-force optimal search for small ``p`` plus a checker for
+  Theorem 3.1 (every valid tree has copy volume >= 2*I) — the property
+  tests drive both.
+
+Ranks and slices are 0-indexed here (the paper is 1-indexed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SliceRef:
+    """Operand ``s(rank, group)``: a slice in ``rank``'s send buffer."""
+
+    rank: int
+
+    def __repr__(self) -> str:
+        return f"s[{self.rank}]"
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """Operand referencing the result of node ``index`` (1-based like the
+    paper: valid values are ``1 .. j-1`` for node ``j``)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"T[{self.index}]"
+
+
+Operand = object  # SliceRef | NodeRef
+
+
+@dataclass(frozen=True)
+class RNode:
+    """One reduction ``T_ij = [r, a, b]``."""
+
+    r: int
+    a: Operand
+    b: Operand
+
+    def operands(self) -> tuple:
+        return (self.a, self.b)
+
+
+class ReductionTree:
+    """A candidate reduction tree for one slice group ``G_i``."""
+
+    def __init__(self, nodes: Sequence[RNode], p: int, group: int = 0):
+        self.nodes = list(nodes)
+        self.p = p
+        self.group = group
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[RNode]:
+        return iter(self.nodes)
+
+    # ---- constraints (Equation 2) -------------------------------------------
+
+    def violations(self) -> list[str]:
+        """All constraint violations (empty list == valid tree)."""
+        errs: list[str] = []
+        p = self.p
+        if len(self.nodes) != p - 1:
+            errs.append(f"tree must have p-1={p - 1} nodes, has {len(self.nodes)}")
+        seen: list[Operand] = []
+        for j, node in enumerate(self.nodes, start=1):
+            if not 0 <= node.r < p:
+                errs.append(f"node {j}: executor {node.r} out of range")
+            if node.a == node.b:
+                errs.append(f"node {j}: identical operands {node.a!r}")
+            for opnd in node.operands():
+                if isinstance(opnd, NodeRef):
+                    if not 1 <= opnd.index < j:
+                        errs.append(
+                            f"node {j}: forward/self reference {opnd!r}"
+                        )
+                elif isinstance(opnd, SliceRef):
+                    if not 0 <= opnd.rank < p:
+                        errs.append(f"node {j}: slice rank {opnd.rank} invalid")
+                else:
+                    errs.append(f"node {j}: bad operand {opnd!r}")
+                if opnd in seen:
+                    errs.append(f"node {j}: operand {opnd!r} reused")
+                seen.append(opnd)
+        # A valid binary tree over p leaves consumes every slice exactly
+        # once and every intermediate except the root exactly once; with
+        # the reuse check above, it suffices that all p slices appear.
+        slices_used = {o.rank for o in seen if isinstance(o, SliceRef)}
+        if not errs and slices_used != set(range(self.p)):
+            missing = set(range(self.p)) - slices_used
+            errs.append(f"slices never reduced: {sorted(missing)}")
+        return errs
+
+    def is_valid(self) -> bool:
+        return not self.violations()
+
+    # ---- Equation 1 -----------------------------------------------------------
+
+    def node_copy_volume(self, j: int, slice_size: int = 1) -> int:
+        """``V(T_ij)``: copy DAV charged to node ``j`` (1-based).
+
+        An operand costs ``2*I`` when it is a send-buffer slice of a
+        process *other than the executor* (it must be copied into shared
+        memory first: one load + one store).  Operands already in shared
+        memory (earlier node results) or in the executor's own buffer
+        are free.
+        """
+        node = self.nodes[j - 1]
+        vol = 0
+        for opnd in node.operands():
+            if isinstance(opnd, SliceRef) and opnd.rank != node.r:
+                vol += 2 * slice_size
+        return vol
+
+    def copy_volume(self, slice_size: int = 1) -> int:
+        """Total copy DAV of the tree: ``sum_j V(T_ij)``."""
+        return sum(
+            self.node_copy_volume(j, slice_size)
+            for j in range(1, len(self.nodes) + 1)
+        )
+
+    def reduce_volume(self, slice_size: int = 1) -> int:
+        """Arithmetic DAV: every node loads two operands, stores one."""
+        return 3 * slice_size * len(self.nodes)
+
+    def total_volume(self, slice_size: int = 1) -> int:
+        return self.copy_volume(slice_size) + self.reduce_volume(slice_size)
+
+
+class SlicedReductionAlgorithm:
+    """An algorithm ``X = [T_1, ..., T_p]`` (one tree per slice group)."""
+
+    def __init__(self, trees: Sequence[ReductionTree]):
+        self.trees = list(trees)
+
+    @property
+    def p(self) -> int:
+        return self.trees[0].p
+
+    def is_valid(self) -> bool:
+        return len(self.trees) == self.p and all(t.is_valid() for t in self.trees)
+
+    def copy_volume(self, slice_size: int = 1) -> int:
+        return sum(t.copy_volume(slice_size) for t in self.trees)
+
+    def total_volume(self, slice_size: int = 1) -> int:
+        return sum(t.total_volume(slice_size) for t in self.trees)
+
+
+# ---------------------------------------------------------------------------
+# Formal constructions
+# ---------------------------------------------------------------------------
+
+
+def dpml_tree(p: int, group: int) -> ReductionTree:
+    """DPML's tree: process ``group`` reduces its whole group serially.
+
+    ``T_i = [[i, s(0,i), s(1,i)], [i, T1, s(2,i)], ..., [i, T(p-2), s(p-1,i)]]``
+    — every *foreign* slice is copied in: ``V = 2*I*(p-1)`` per tree
+    under Equation 1 (the executor's own slice is free).  The deployed
+    DPML implementation copies whole buffers, ``2*s*p`` per node, which
+    is what Table 1 charges; Figure 2a draws those p arrows.
+    """
+    _check_p_group(p, group)
+    nodes = [RNode(group, SliceRef(0), SliceRef(1))]
+    for j in range(2, p):
+        nodes.append(RNode(group, NodeRef(j - 1), SliceRef(j)))
+    return ReductionTree(nodes, p, group)
+
+
+def ma_tree(p: int, group: int) -> ReductionTree:
+    """The movement-avoiding tree ``A'`` of Figure 5 / Figure 6.
+
+    For slice group ``i``: rank ``(i-1) mod p`` copies its slice in,
+    rank ``(i-2) mod p`` reduces it with its own local slice, and every
+    later step's executor contributes its *local* slice, ending at rank
+    ``i``.  Exactly one operand in the whole tree is a foreign slice, so
+    ``V = 2*I`` — the Theorem 3.1 lower bound.
+    """
+    _check_p_group(p, group)
+    i = group
+    copier = (i - 1) % p
+    first = (i - 2) % p
+    nodes = [RNode(first, SliceRef(first), SliceRef(copier))]
+    for j in range(2, p):
+        r = (i - 1 - j) % p
+        nodes.append(RNode(r, NodeRef(j - 1), SliceRef(r)))
+    return ReductionTree(nodes, p, group)
+
+
+def dpml_algorithm(p: int) -> SlicedReductionAlgorithm:
+    return SlicedReductionAlgorithm([dpml_tree(p, i) for i in range(p)])
+
+
+def ma_algorithm(p: int) -> SlicedReductionAlgorithm:
+    return SlicedReductionAlgorithm([ma_tree(p, i) for i in range(p)])
+
+
+def _check_p_group(p: int, group: int) -> None:
+    if p < 2:
+        raise ValueError("need at least two processes")
+    if not 0 <= group < p:
+        raise ValueError(f"group {group} out of range for p={p}")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1 and optimal search
+# ---------------------------------------------------------------------------
+
+
+def theorem_3_1_holds(tree: ReductionTree, slice_size: int = 1) -> bool:
+    """Check ``sum_j V(T_ij) >= 2*I`` for a *valid* tree.
+
+    Proof sketch (paper): the first node's operands cannot both be free
+    — shared memory is empty before node 1, so a zero-cost node 1 needs
+    both operands to be the executor's own slice, violating operand
+    distinctness.
+    """
+    if not tree.is_valid():
+        raise ValueError("theorem applies to valid trees only: "
+                         + "; ".join(tree.violations()))
+    return tree.copy_volume(slice_size) >= 2 * slice_size
+
+
+def enumerate_trees(p: int, group: int = 0,
+                    executors: Optional[Sequence[int]] = None
+                    ) -> Iterator[ReductionTree]:
+    """Exhaustively enumerate valid reduction trees for one group.
+
+    Exponential in ``p`` — intended for ``p <= 4`` in tests.  ``executors``
+    restricts candidate executor ranks per node (defaults to all ranks).
+    """
+    _check_p_group(p, group)
+    execs = list(range(p)) if executors is None else list(executors)
+
+    def operand_pool(j: int, used: set) -> list:
+        pool: list = [SliceRef(x) for x in range(p) if SliceRef(x) not in used]
+        pool += [NodeRef(k) for k in range(1, j) if NodeRef(k) not in used]
+        return pool
+
+    def rec(j: int, nodes: list, used: set) -> Iterator[ReductionTree]:
+        if j == p:
+            tree = ReductionTree(list(nodes), p, group)
+            if tree.is_valid():
+                yield tree
+            return
+        pool = operand_pool(j, used)
+        for a, b in itertools.combinations(pool, 2):
+            for r in execs:
+                nodes.append(RNode(r, a, b))
+                used.add(a)
+                used.add(b)
+                yield from rec(j + 1, nodes, used)
+                used.discard(a)
+                used.discard(b)
+                nodes.pop()
+
+    yield from rec(1, [], set())
+
+
+def min_copy_volume_bruteforce(p: int, slice_size: int = 1) -> int:
+    """Minimum ``V`` over all valid trees (exhaustive; small ``p`` only)."""
+    return min(t.copy_volume(slice_size) for t in enumerate_trees(p))

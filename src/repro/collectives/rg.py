@@ -1,0 +1,217 @@
+"""RG: pipelined k-ary tree reduction on shared memory (Jain et al. [34]).
+
+The RG framework chunks the message into slices and drives each slice
+through a reduction tree of branching degree ``k``: leaf children copy
+their slice into per-rank shared-memory slots, their parent reduces the
+``k`` slots together with its own (private) slice, and higher-level
+parents reduce the already-shared partial sums — no further copies.
+Slices flow through the tree in a pipeline, so the tree latency is paid
+once and every level works on a different slice concurrently.
+
+DAV per node (Table 2, allreduce):
+``(2sk + 3sk) * p/(k+1) + 3sk * (p/(k+1)^2 + ... ) + 2sp`` — the first
+term is the leaf level (copy + reduce), inner levels only reduce, and
+the final term is the all-rank copy-out.  The rooted reduce variant
+writes the top-level reduction straight into the root's receiving
+buffer and therefore has no copy-out term (Table 3).
+
+Slots are double-buffered: slice ``t`` uses buffer ``t mod 2``.  A rank
+reuses its slot two slices later, gated on the flag of whoever consumes
+it — its parent's ``freed`` flag, or (for the root's slot in the
+allreduce) the ``copied`` flags of all ranks.
+
+Synchronization invariants the implementation maintains:
+
+* a rank posts ``ready`` for slice ``t`` exactly **once**, after its
+  *last* contribution to that slice (leaf copy-in, or its highest
+  parenting level) — a parent waiting on a child therefore always sees
+  the child's complete subtree sum;
+* every parent at level 0 folds its own send-buffer slice in (including
+  the degenerate single-member group, which simply copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.common import CollectiveEnv, subslices
+
+DEFAULT_BRANCH = 2
+DEFAULT_SLICE = 128 * 1024
+
+
+@dataclass(frozen=True)
+class _Group:
+    level: int
+    parent: int
+    children: tuple
+
+
+def build_tree(p: int, k: int) -> list[list[_Group]]:
+    """Group ranks into a (k+1)-ary reduction hierarchy.
+
+    Level 0 groups ``k+1`` consecutive ranks (parent = lowest rank —
+    with compact core binding consecutive ranks share a socket, giving
+    the intra-socket grouping the paper configures).  Parents survive to
+    the next level until a single root remains.
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    if k < 1:
+        raise ValueError("branching degree must be >= 1")
+    levels: list[list[_Group]] = []
+    survivors = list(range(p))
+    level = 0
+    while len(survivors) > 1:
+        groups = []
+        nxt = []
+        for g in range(0, len(survivors), k + 1):
+            members = survivors[g : g + k + 1]
+            groups.append(
+                _Group(level=level, parent=members[0], children=tuple(members[1:]))
+            )
+            nxt.append(members[0])
+        levels.append(groups)
+        survivors = nxt
+        level += 1
+    return levels
+
+
+def _my_roles(levels, rank):
+    """(child_group, parent_groups) for this rank."""
+    child_of = None
+    parent_of = []
+    for lvl in levels:
+        for grp in lvl:
+            if rank in grp.children:
+                child_of = grp
+            elif rank == grp.parent:
+                parent_of.append(grp)
+    return child_of, parent_of
+
+
+def _rg_core(ctx, env: CollectiveEnv, branch: int, slice_size: int, *,
+             out_mode: str, tag):
+    p, r = env.p, ctx.rank
+    s = env.s
+    if p == 1:
+        ctx.copy(env.recvbufs[0].view(0, s), env.sendbufs[0].view(0, s))
+        return
+    # Rooted reduces rotate the rank order so env.root is the tree root.
+    order = (
+        [(env.root + i) % p for i in range(p)]
+        if out_mode == "root"
+        else list(range(p))
+    )
+    pos = {rank: i for i, rank in enumerate(order)}
+    levels = [
+        [
+            _Group(g.level, order[g.parent], tuple(order[c] for c in g.children))
+            for g in lvl
+        ]
+        for lvl in build_tree(p, branch)
+    ]
+    root = levels[-1][0].parent
+    n_levels = len(levels)
+    i_size = -(-min(slice_size, max(s, 8)) // 8) * 8
+    slices = subslices(0, s, i_size)
+    send = env.sendbufs[r]
+    child_of, parent_of = _my_roles(levels, r)
+    last_parent_level = parent_of[-1].level if parent_of else -1
+    is_leaf_child = child_of is not None and child_of.level == 0
+
+    def slot(rank: int, t: int, n: int):
+        return env.shm.view((2 * pos[rank] + t % 2) * i_size, n)
+
+    def reuse_gate(t: int):
+        """Event to wait on before overwriting my slot for slice ``t``."""
+        if t < 2:
+            return None
+        if r != root:
+            return ctx.wait((tag, "freed", r, t - 2))
+        if out_mode == "all":
+            return ctx.wait((tag, "copied", t - 2), count=p)
+        return None  # rooted reduce: only the root itself reads its slot
+
+    for t, (off, n) in enumerate(slices):
+        if is_leaf_child:
+            gate = reuse_gate(t)
+            if gate is not None:
+                yield gate
+            env.copy(ctx, slot(r, t, n), send.view(off, n), t_flag=False)
+            ctx.post((tag, "ready", r, t))
+        gated = False
+        for grp in parent_of:
+            active = max(1, len(levels[grp.level]))
+            top_root = grp.level == n_levels - 1 and out_mode == "root"
+            dst = (
+                env.recvbufs[root].view(off, n)
+                if top_root
+                else slot(r, t, n)
+            )
+            if not top_root and not gated:
+                gate = reuse_gate(t)
+                if gate is not None:
+                    yield gate
+                gated = True
+            if grp.level == 0 and not grp.children:
+                # degenerate single-member group: fold my slice in
+                env.copy(ctx, dst, send.view(off, n), t_flag=False)
+            for idx, c in enumerate(grp.children):
+                yield ctx.wait((tag, "ready", c, t))
+                if grp.level == 0 and idx == 0:
+                    # first fold also incorporates my private slice
+                    ctx.reduce_out(dst, send.view(off, n), slot(c, t, n),
+                                   op=env.op, concurrency=active)
+                elif top_root and idx == 0:
+                    ctx.reduce_out(dst, slot(r, t, n), slot(c, t, n),
+                                   op=env.op, concurrency=active)
+                else:
+                    ctx.reduce_acc(dst, slot(c, t, n), op=env.op,
+                                   concurrency=active)
+                ctx.post((tag, "freed", c, t))
+            if grp.level == last_parent_level and not top_root:
+                ctx.post((tag, "ready", r, t))
+        if out_mode == "all":
+            yield ctx.wait((tag, "ready", root, t))
+            env.copy_out(ctx, env.recvbufs[r].view(off, n),
+                         slot(root, t, n))
+            ctx.post((tag, "copied", t))
+
+
+class RGReduce:
+    """Pipelined tree reduce: DAV ``s p (5k/(k+1) + 3k/(k+1)^2 + ...)``
+    (Table 3's RG row)."""
+
+    name = "rg-reduce"
+    kind = "reduce"
+    out_mode = "root"
+
+    def __init__(self, branch: int = DEFAULT_BRANCH,
+                 slice_size: int = DEFAULT_SLICE):
+        self.branch = branch
+        self.slice_size = slice_size
+
+    def work_set(self, env: CollectiveEnv) -> int:
+        return env.s * env.p + env.s + self.shm_bytes(env)
+
+    def shm_bytes(self, env: CollectiveEnv) -> int:
+        i_size = -(-min(self.slice_size, max(env.s, 8)) // 8) * 8
+        return 2 * env.p * i_size
+
+    def program(self, ctx, env: CollectiveEnv):
+        yield from _rg_core(ctx, env, self.branch, self.slice_size,
+                            out_mode=self.out_mode,
+                            tag=("rg", self.out_mode))
+
+
+class RGAllreduce(RGReduce):
+    """Pipelined tree reduce + all-rank copy-out (Table 2's RG row)."""
+
+    name = "rg-allreduce"
+    kind = "allreduce"
+    out_mode = "all"
+
+
+RG_REDUCE = RGReduce()
+RG_ALLREDUCE = RGAllreduce()

@@ -1,0 +1,32 @@
+"""Data-copy primitives and the adaptive non-temporal store heuristic.
+
+This subpackage is the reproduction of Section 4: the ``t-copy`` /
+``nt-copy`` / ``memmove`` primitives, the ``adaptive-copy`` decision
+procedure (Algorithm 1) driven by the working-set-vs-cache model, the
+kernel-assisted (CMA-style) copy used by the vendor baselines, and the
+sliced STREAM-COPY microbenchmark behind Table 4 and Figure 3.
+"""
+
+from repro.copyengine.primitives import (
+    CopyPolicy,
+    resolve_nt,
+    t_copy,
+    nt_copy,
+    memmove,
+    kernel_copy,
+)
+from repro.copyengine.adaptive import AdaptiveCopy, adaptive_copy
+from repro.copyengine.stream import SlicedCopyBenchmark, SlicedCopyResult
+
+__all__ = [
+    "CopyPolicy",
+    "resolve_nt",
+    "t_copy",
+    "nt_copy",
+    "memmove",
+    "kernel_copy",
+    "AdaptiveCopy",
+    "adaptive_copy",
+    "SlicedCopyBenchmark",
+    "SlicedCopyResult",
+]

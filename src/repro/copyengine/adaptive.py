@@ -1,0 +1,68 @@
+"""Algorithm 1: memory copy with adaptive non-temporal stores.
+
+The adaptive copy extends ``memmove`` with three extra inputs that
+describe the *algorithm* rather than the single call:
+
+* ``t`` — the temporal flag of the **stored** buffer: ``False`` when
+  the stored data will be reused soon (e.g. a copy-in to shared memory
+  that the next reduction reads), ``True`` when it is written once and
+  not revisited (e.g. the copy-out to a receiving buffer);
+* ``W`` — the collective's *work data size*: sending + receiving +
+  auxiliary (shared-memory) buffers across the node (Section 4.2);
+* ``C`` — the available cache capacity, ``c' + p * c''`` for a
+  non-inclusive LLC, else ``c'`` (Section 4.2).
+
+NT stores are selected exactly when ``t`` is set and ``W > C``: only
+then does the write-allocate path cause capacity misses whose RFO and
+write-back traffic cannot be amortized by future hits (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec, available_cache_capacity
+from repro.sim.buffers import BufView
+from repro.sim.engine import RankCtx
+
+
+@dataclass
+class AdaptiveCopy:
+    """A configured adaptive-copy instance for one collective call.
+
+    Create it once per collective with the algorithm's work-set size,
+    then invoke it per slice with the slice's temporal flag.  Tracks
+    how many copies took each path, which the tests and benchmarks use
+    to verify the switch point of Section 5.4
+    (``s > (C - m*p*Imax) / (2p)`` for socket-aware MA all-reduce).
+    """
+
+    machine: MachineSpec
+    nranks: int
+    work_set: int
+
+    def __post_init__(self) -> None:
+        if self.work_set < 0:
+            raise ValueError("work set must be non-negative")
+        self.cache_capacity = available_cache_capacity(self.machine, self.nranks)
+        self.nt_copies = 0
+        self.t_copies = 0
+
+    def would_use_nt(self, t_flag: bool) -> bool:
+        return bool(t_flag) and self.work_set > self.cache_capacity
+
+    def __call__(self, ctx: RankCtx, dst: BufView, src: BufView,
+                 t_flag: bool) -> None:
+        nt = self.would_use_nt(t_flag)
+        if nt:
+            self.nt_copies += 1
+        else:
+            self.t_copies += 1
+        ctx.copy(dst, src, nt=nt, policy="adaptive")
+
+
+def adaptive_copy(ctx: RankCtx, dst: BufView, src: BufView, *, t_flag: bool,
+                  work_set: int, cache_capacity: int) -> None:
+    """One-shot form of Algorithm 1 (``adaptive-copy(a, b, tau, t, C, W)``)."""
+    nt = bool(t_flag) and work_set > cache_capacity
+    ctx.copy(dst, src, nt=nt, policy="adaptive")

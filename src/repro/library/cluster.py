@@ -1,0 +1,151 @@
+"""Composed multi-node simulation with per-node skew.
+
+:class:`~repro.library.multinode.MultiNodeAllreduce` composes phase
+*totals* analytically — right for symmetric steady state, blind to
+imbalance.  :class:`ClusterAllreduce` composes actual per-node engine
+runs instead: each node's intra-node phases execute on its own
+simulated engine (so node-local effects — cache state, rank counts,
+machine differences — are carried through), and the inter-node exchange
+starts only when a node's reduce-scatter *finished*, with the ring
+gated by the slowest participant per step.
+
+That makes straggler questions answerable: MiniAMR-style refinement
+imbalance delays one node's entry into the exchange — how much of the
+skew does the collective absorb, and how does YHCCL's multi-lane ring
+compare to a leader tree under skew?  (`tests/library/test_cluster.py`
+exercises both.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.library.communicator import Communicator
+from repro.library.yhccl import YHCCL
+from repro.machine.network import INFINIBAND_EDR, Network, NetworkSpec
+from repro.machine.spec import MachineSpec
+
+
+@dataclass
+class NodeResult:
+    """One node's phase timings within a cluster collective."""
+
+    node: int
+    skew: float
+    rs_done: float  # absolute time the reduce-scatter finished
+    exchange_done: float
+    finish: float  # allgather finished
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one composed cluster allreduce."""
+
+    nodes: list  # NodeResult per node
+    nbytes: int
+
+    @property
+    def time(self) -> float:
+        return max(n.finish for n in self.nodes)
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+    def skew_absorbed(self) -> float:
+        """How much of the injected skew the collective hid:
+        1 - (finish spread / injected spread).  1.0 means the ring's
+        step-wise gating fully re-synchronized the nodes."""
+        inj = max(n.skew for n in self.nodes) - min(n.skew for n in self.nodes)
+        out = max(n.finish for n in self.nodes) - min(
+            n.finish for n in self.nodes
+        )
+        if inj <= 0:
+            return 1.0
+        return max(0.0, 1.0 - out / inj)
+
+
+class ClusterAllreduce:
+    """Composed hierarchical allreduce over per-node simulations.
+
+    Parameters
+    ----------
+    machine:
+        Node hardware model (all nodes identical; heterogeneity enters
+        through ``skews``).
+    nnodes, ranks_per_node:
+        Cluster shape.
+    network:
+        NIC model; the exchange uses the multi-lane ring
+        (``ranks_per_node`` concurrent streams per node).
+    """
+
+    def __init__(self, machine: MachineSpec, nnodes: int,
+                 ranks_per_node: int, *,
+                 network: Optional[NetworkSpec] = None):
+        if nnodes < 1:
+            raise ValueError("need at least one node")
+        self.machine = machine
+        self.nnodes = nnodes
+        self.p = ranks_per_node
+        self.net = Network(network or INFINIBAND_EDR)
+
+    def _intra_times(self, nbytes: int) -> tuple:
+        """(reduce_scatter_time, allgather_time) on one node."""
+        comm = Communicator(self.p, machine=self.machine, functional=False)
+        lib = YHCCL(comm)
+        rs = lib.reduce_scatter(nbytes, iterations=2).time
+        ag_bytes = nbytes // self.p if nbytes >= self.p else nbytes
+        ag = lib.allgather(ag_bytes, iterations=2).time
+        return rs, ag
+
+    def run(self, nbytes: int, *,
+            skews: Optional[Sequence[float]] = None) -> ClusterResult:
+        """Execute with optional per-node start skews (seconds).
+
+        The exchange is a ring over nodes; each of its ``2(N-1)`` steps
+        can start only when every participant finished the previous one
+        (bulk-synchronous gating — the skew of the slowest node
+        propagates into every step exactly once)."""
+        skews = list(skews or [0.0] * self.nnodes)
+        if len(skews) != self.nnodes:
+            raise ValueError(f"need {self.nnodes} skews")
+        if any(s < 0 for s in skews):
+            raise ValueError("skews must be non-negative")
+        rs_t, ag_t = self._intra_times(nbytes)
+
+        # every node enters the exchange when its RS is done
+        enter = [skews[i] + rs_t for i in range(self.nnodes)]
+        if self.nnodes == 1:
+            nodes = [NodeResult(0, skews[0], enter[0], enter[0],
+                                enter[0] + ag_t)]
+            return ClusterResult(nodes=nodes, nbytes=nbytes)
+
+        steps = 2 * (self.nnodes - 1)
+        chunk = nbytes / self.nnodes
+        bw = self.net.effective_bandwidth(self.p)
+        step_time = self.net.spec.latency + chunk / bw
+        # ring gating: step k starts at max over participants of their
+        # step k-1 completion — i.e. the whole ring marches at the pace
+        # of the latest entrant
+        start = max(enter)
+        exchange_done = start + steps * step_time
+        nodes = [
+            NodeResult(
+                node=i,
+                skew=skews[i],
+                rs_done=enter[i],
+                exchange_done=exchange_done,
+                finish=exchange_done + ag_t,
+            )
+            for i in range(self.nnodes)
+        ]
+        return ClusterResult(nodes=nodes, nbytes=nbytes)
+
+    def straggler_penalty(self, nbytes: int, skew: float) -> float:
+        """Completion-time increase caused by one straggling node."""
+        base = self.run(nbytes).time
+        skews = [0.0] * self.nnodes
+        skews[0] = skew
+        return self.run(nbytes, skews=skews).time - base

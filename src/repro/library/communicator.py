@@ -1,0 +1,73 @@
+"""Communicator: a set of simulated ranks on a (possibly modelled) node.
+
+Wraps an :class:`~repro.sim.engine.Engine` plus the run-mode choices
+(functional vs timing, machine model, RNG seed) and provides buffer
+management helpers shared by the library facades.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+from repro.sim.engine import Engine
+
+
+class Communicator:
+    """A group of ``nranks`` simulated processes.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks (one per core; validated against the machine).
+    machine:
+        Optional machine model; required for timing results.  Without
+        it, collectives still run functionally (tests, small demos).
+    functional:
+        Carry real numpy payloads.  Disable for large timing sweeps.
+    dtype:
+        Element type of functional payloads.
+    """
+
+    def __init__(self, nranks: int, *, machine: Optional[MachineSpec] = None,
+                 functional: Optional[bool] = None, dtype=np.float64,
+                 trace: bool = False, seed: int = 2023):
+        if functional is None:
+            functional = machine is None
+        self.engine = Engine(
+            nranks,
+            machine=machine,
+            functional=functional,
+            dtype=dtype,
+            trace=trace,
+            seed=seed,
+        )
+
+    @property
+    def nranks(self) -> int:
+        return self.engine.nranks
+
+    @property
+    def machine(self) -> Optional[MachineSpec]:
+        return self.engine.machine
+
+    @property
+    def functional(self) -> bool:
+        return self.engine.functional
+
+    def reset_caches(self) -> None:
+        """Cold-start the simulated caches (between unrelated runs)."""
+        if self.engine.memsys is not None:
+            self.engine.memsys.reset_caches()
+
+    def socket_of(self, rank: int) -> int:
+        if self.engine.memsys is None:
+            return 0
+        return self.engine.memsys.socket_of_rank(rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        m = self.machine.name if self.machine else "no-machine"
+        mode = "functional" if self.functional else "timing"
+        return f"<Communicator {self.nranks} ranks on {m} ({mode})>"

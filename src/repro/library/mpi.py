@@ -1,0 +1,141 @@
+"""Vendor-MPI facade and the algorithm registry.
+
+``MPILibrary(comm, "Open MPI")`` exposes the same five collectives as
+:class:`~repro.library.yhccl.YHCCL`, backed by the vendor models of
+:mod:`repro.collectives.baselines` — the uniform interface the
+benchmark harness sweeps over.
+
+``ALGORITHMS`` additionally names every individual algorithm
+implementation (``"ma"``, ``"socket-ma"``, ``"ring"``, ``"dpml"``, ...)
+so the per-figure benchmarks can compare algorithms directly, outside
+any vendor packaging.
+"""
+
+from __future__ import annotations
+
+from repro.collectives import baselines
+from repro.collectives.allgather import PIPELINED_ALLGATHER
+from repro.collectives.bcast import PIPELINED_BCAST
+from repro.collectives.common import (
+    run_allgather_collective,
+    run_bcast_collective,
+    run_reduce_collective,
+)
+from repro.collectives.dpml import (
+    DPML2_ALLREDUCE,
+    DPML_ALLREDUCE,
+    DPML_REDUCE,
+    DPML_REDUCE_SCATTER,
+)
+from repro.collectives.ma import MA_ALLREDUCE, MA_REDUCE, MA_REDUCE_SCATTER
+from repro.collectives.rabenseifner import (
+    RABENSEIFNER_ALLREDUCE,
+    RABENSEIFNER_REDUCE_SCATTER,
+)
+from repro.collectives.rg import RG_ALLREDUCE, RG_REDUCE
+from repro.collectives.ring import RING_ALLREDUCE, RING_REDUCE_SCATTER
+from repro.collectives.socket_aware import (
+    SOCKET_MA_ALLREDUCE,
+    SOCKET_MA_REDUCE,
+    SOCKET_MA_REDUCE_SCATTER,
+)
+from repro.library.communicator import Communicator
+from repro.library.yhccl import CollectiveResult
+
+#: name -> {kind -> algorithm}: the raw algorithm registry
+ALGORITHMS = {
+    "ma": {
+        "reduce_scatter": MA_REDUCE_SCATTER,
+        "allreduce": MA_ALLREDUCE,
+        "reduce": MA_REDUCE,
+    },
+    "socket-ma": {
+        "reduce_scatter": SOCKET_MA_REDUCE_SCATTER,
+        "allreduce": SOCKET_MA_ALLREDUCE,
+        "reduce": SOCKET_MA_REDUCE,
+    },
+    "ring": {
+        "reduce_scatter": RING_REDUCE_SCATTER,
+        "allreduce": RING_ALLREDUCE,
+    },
+    "rabenseifner": {
+        "reduce_scatter": RABENSEIFNER_REDUCE_SCATTER,
+        "allreduce": RABENSEIFNER_ALLREDUCE,
+    },
+    "dpml": {
+        "reduce_scatter": DPML_REDUCE_SCATTER,
+        "allreduce": DPML_ALLREDUCE,
+        "reduce": DPML_REDUCE,
+    },
+    "dpml2": {"allreduce": DPML2_ALLREDUCE},
+    "rg": {"allreduce": RG_ALLREDUCE, "reduce": RG_REDUCE},
+    "pipelined": {"bcast": PIPELINED_BCAST, "allgather": PIPELINED_ALLGATHER},
+}
+
+
+def implementations() -> list[str]:
+    """Names accepted by :class:`MPILibrary` (the Figure 15 baselines)."""
+    return sorted(baselines.make_vendor_suites().keys())
+
+
+class MPILibrary:
+    """A vendor MPI implementation's collectives on the simulated node."""
+
+    def __init__(self, comm: Communicator, vendor: str, *,
+                 imax: int = 1024 * 1024):
+        suites = baselines.make_vendor_suites()
+        if vendor not in suites:
+            raise ValueError(
+                f"unknown vendor {vendor!r}; choose from {sorted(suites)}"
+            )
+        self.comm = comm
+        self.vendor = vendor
+        self.suite = suites[vendor]
+        self.imax = imax
+
+    def _run(self, kind: str, nbytes: int, *, iterations: int = 1,
+             **kw) -> CollectiveResult:
+        if kind not in self.suite:
+            raise ValueError(f"{self.vendor} model lacks {kind}")
+        alg, policy = self.suite[kind]
+        runner = {
+            "reduce_scatter": run_reduce_collective,
+            "reduce": run_reduce_collective,
+            "allreduce": run_reduce_collective,
+            "bcast": run_bcast_collective,
+            "allgather": run_allgather_collective,
+        }[kind]
+        res = runner(alg, self.comm.engine, nbytes, copy_policy=policy,
+                     imax=self.imax, iterations=iterations, **kw)
+        return CollectiveResult(
+            kind=kind,
+            nbytes=nbytes,
+            time=res.time,
+            dav=res.traffic.dav if res.traffic else 0,
+            memory_traffic=res.traffic.memory_traffic if res.traffic else 0,
+            sync_count=res.sync_count,
+            algorithm=alg.name,
+            copy_policy=policy,
+        )
+
+    def allreduce(self, nbytes: int, *, op: str = "sum",
+                  iterations: int = 1) -> CollectiveResult:
+        return self._run("allreduce", nbytes, op=op, iterations=iterations)
+
+    def reduce(self, nbytes: int, *, op: str = "sum", root: int = 0,
+               iterations: int = 1) -> CollectiveResult:
+        return self._run("reduce", nbytes, op=op, root=root,
+                         iterations=iterations)
+
+    def reduce_scatter(self, nbytes: int, *, op: str = "sum",
+                       iterations: int = 1) -> CollectiveResult:
+        return self._run("reduce_scatter", nbytes, op=op,
+                         iterations=iterations)
+
+    def bcast(self, nbytes: int, *, root: int = 0,
+              iterations: int = 1) -> CollectiveResult:
+        return self._run("bcast", nbytes, root=root, iterations=iterations)
+
+    def allgather(self, nbytes: int,
+                  iterations: int = 1) -> CollectiveResult:
+        return self._run("allgather", nbytes, iterations=iterations)

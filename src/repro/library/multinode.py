@@ -1,0 +1,130 @@
+"""Multi-node hierarchical collectives (Section 5.5, Figure 16b).
+
+YHCCL's multi-node allreduce composes three phases:
+
+1. intra-node **movement-avoiding reduce-scatter** (the paper's design),
+2. inter-node **ring allreduce** of the scattered partitions, with every
+   on-node process driving its own share of the message so the NIC is
+   saturated ("multi-lane" — Traeff & Hunold [52]),
+3. intra-node **all-gather** of the result.
+
+Vendor implementations are modelled as leader-based hierarchies: one
+process per node reduces the node's contribution (intra-node reduce),
+exchanges across nodes through a single lane (tree for small messages,
+ring for large), and broadcasts back — the structure OMPI-hcoll,
+Intel MPI and MVAPICH2 use on InfiniBand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.library.communicator import Communicator
+from repro.library.mpi import MPILibrary
+from repro.library.yhccl import YHCCL
+from repro.machine.network import INFINIBAND_EDR, Network, NetworkSpec
+
+
+@dataclass
+class MultiNodeResult:
+    """Timing breakdown of one multi-node collective.
+
+    ``time`` accounts for pipelining when enabled; ``intra_time`` and
+    ``inter_time`` are the un-overlapped phase totals.
+    """
+
+    time: float
+    intra_time: float
+    inter_time: float
+    nbytes: int
+    nnodes: int
+    pipelined: bool = False
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+    @property
+    def overlap_saving(self) -> float:
+        """Fraction of the serial phase sum hidden by pipelining."""
+        serial = self.intra_time + self.inter_time
+        return 1.0 - self.time / serial if serial > 0 else 0.0
+
+
+class MultiNodeAllreduce:
+    """Hierarchical allreduce across ``nnodes`` identical nodes.
+
+    ``implementation`` is ``"YHCCL"`` or a vendor name accepted by
+    :class:`~repro.library.mpi.MPILibrary` (``"OMPI-hcoll"`` maps to the
+    Open MPI node model with a tree-optimized network phase).
+    """
+
+    #: pipeline chunk count for the segmented hierarchical allreduce
+    PIPELINE_CHUNKS = 4
+
+    def __init__(self, comm: Communicator, nnodes: int, *,
+                 implementation: str = "YHCCL",
+                 network: Optional[NetworkSpec] = None,
+                 pipelined: bool = True):
+        if nnodes < 1:
+            raise ValueError("need at least one node")
+        self.comm = comm
+        self.nnodes = nnodes
+        self.implementation = implementation
+        self.network = Network(network or INFINIBAND_EDR)
+        self.pipelined = pipelined
+        vendor = "Open MPI" if implementation == "OMPI-hcoll" else implementation
+        self._lib = (
+            YHCCL(comm) if implementation == "YHCCL" else MPILibrary(comm, vendor)
+        )
+
+    def allreduce(self, nbytes: int) -> MultiNodeResult:
+        p = self.comm.nranks
+        if self.implementation == "YHCCL":
+            rs = self._lib.reduce_scatter(nbytes)
+            ag = self._lib.allgather(nbytes // p if nbytes >= p else nbytes)
+            intra = rs.time + ag.time
+            # every rank ships its partition: p concurrent lanes
+            inter = self.network.ring_allreduce_time(
+                nbytes, self.nnodes, concurrent_procs=p
+            )
+            # chunking a latency-bound message multiplies its latency
+            # terms; only pipeline when the message is bandwidth-bound
+            big_enough = nbytes >= self.PIPELINE_CHUNKS * (1 << 20)
+            if not (self.pipelined and self.nnodes > 1 and big_enough):
+                return MultiNodeResult(
+                    time=intra + inter, intra_time=intra, inter_time=inter,
+                    nbytes=nbytes, nnodes=self.nnodes,
+                )
+            # Section 5.5's segmented pipeline: the message is chunked;
+            # chunk k's inter-node ring overlaps chunk k+1's intra-node
+            # reduce-scatter (and the trailing allgathers overlap the
+            # preceding chunks' exchanges).  Three-stage pipeline over C
+            # chunks: T = sum(stages)/C + (C-1)/C * max(stage).
+            c = self.PIPELINE_CHUNKS
+            stages = [rs.time, inter, ag.time]
+            time = sum(stages) / c + (c - 1) / c * max(stages)
+            return MultiNodeResult(
+                time=time, intra_time=intra, inter_time=inter,
+                nbytes=nbytes, nnodes=self.nnodes, pipelined=True,
+            )
+        # Leader-based vendor hierarchy: node reduce + 1-lane exchange +
+        # node bcast.  Tree-based network collectives win on latency for
+        # small messages; bandwidth-bound rings win for large — vendors
+        # switch, and so does the model.
+        red = self._lib.reduce(nbytes)
+        bc = self._lib.bcast(nbytes)
+        intra = red.time + bc.time
+        tree = self.network.tree_allreduce_time(nbytes, self.nnodes)
+        ring = self.network.ring_allreduce_time(
+            nbytes, self.nnodes, concurrent_procs=1
+        )
+        hcoll = self.implementation == "OMPI-hcoll"
+        inter = min(tree, ring) if hcoll else (
+            tree if nbytes <= 256 * 1024 else ring
+        )
+        return MultiNodeResult(
+            time=intra + inter, intra_time=intra, inter_time=inter,
+            nbytes=nbytes, nnodes=self.nnodes,
+        )

@@ -1,0 +1,96 @@
+"""PMPI-style collective profiler (Section 5.1's profiling tool).
+
+Wraps any library facade (:class:`~repro.library.yhccl.YHCCL` or
+:class:`~repro.library.mpi.MPILibrary`) and records every collective
+call: operation, size, time, DAV, achieved data-access bandwidth and
+the algorithm selected — the data behind the paper's DAB discussion in
+Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+@dataclass
+class ProfileRecord:
+    kind: str
+    nbytes: int
+    time: float
+    dav: int
+    algorithm: str
+
+    @property
+    def dab(self) -> float:
+        return self.dav / self.time if self.time > 0 else float("inf")
+
+
+@dataclass
+class _OpStats:
+    calls: int = 0
+    total_time: float = 0.0
+    total_bytes: int = 0
+    total_dav: int = 0
+
+
+class Profiler:
+    """Intercepts collective calls the way a PMPI shim does."""
+
+    COLLECTIVES = ("allreduce", "reduce", "reduce_scatter", "bcast",
+                   "allgather")
+
+    def __init__(self, library):
+        self.library = library
+        self.records: list[ProfileRecord] = []
+
+    def __getattr__(self, name):
+        if name not in self.COLLECTIVES:
+            raise AttributeError(name)
+        inner = getattr(self.library, name)
+
+        def wrapper(nbytes, **kw):
+            result = inner(nbytes, **kw)
+            self.records.append(
+                ProfileRecord(
+                    kind=result.kind,
+                    nbytes=result.nbytes,
+                    time=result.time,
+                    dav=result.dav,
+                    algorithm=result.algorithm,
+                )
+            )
+            return result
+
+        return wrapper
+
+    # ---- reporting ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        out: dict[str, _OpStats] = {}
+        for rec in self.records:
+            st = out.setdefault(rec.kind, _OpStats())
+            st.calls += 1
+            st.total_time += rec.time
+            st.total_bytes += rec.nbytes
+            st.total_dav += rec.dav
+        return out
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.time for r in self.records)
+
+    def report(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"{'collective':<16}{'calls':>7}{'bytes':>14}{'time (ms)':>12}"
+            f"{'DAB (GB/s)':>12}"
+        ]
+        for kind, st in sorted(self.stats().items()):
+            dab = st.total_dav / st.total_time / 1e9 if st.total_time else 0.0
+            lines.append(
+                f"{kind:<16}{st.calls:>7}{st.total_bytes:>14}"
+                f"{st.total_time * 1e3:>12.3f}{dab:>12.1f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()

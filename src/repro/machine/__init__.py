@@ -1,0 +1,41 @@
+"""Hardware substrate: machine specifications, cache models, memory system
+timing, NUMA topology and the inter-node network model.
+
+The paper's results are explained entirely by memory-system effects —
+write-allocate (RFO) traffic, non-temporal store semantics, cache
+capacity, NUMA locality and synchronization latency.  This subpackage
+models those effects explicitly so that the collective algorithms in
+:mod:`repro.collectives` can be timed on machines shaped like the
+paper's NodeA / NodeB / ClusterC testbeds.
+"""
+
+from repro.machine.spec import (
+    CacheSpec,
+    MachineSpec,
+    SocketSpec,
+    NODE_A,
+    NODE_B,
+    CLUSTER_C,
+    available_cache_capacity,
+)
+from repro.machine.cache import RegionCache, SetAssociativeCache, AccessResult
+from repro.machine.memory import MemorySystem, TrafficCounters
+from repro.machine.network import Network, NetworkSpec, INFINIBAND_EDR
+
+__all__ = [
+    "CacheSpec",
+    "MachineSpec",
+    "SocketSpec",
+    "NODE_A",
+    "NODE_B",
+    "CLUSTER_C",
+    "available_cache_capacity",
+    "RegionCache",
+    "SetAssociativeCache",
+    "AccessResult",
+    "MemorySystem",
+    "TrafficCounters",
+    "Network",
+    "NetworkSpec",
+    "INFINIBAND_EDR",
+]

@@ -1,0 +1,338 @@
+"""Cache models implementing write-allocate (RFO) and non-temporal stores.
+
+Two models with one access API:
+
+* :class:`RegionCache` — region-granular LRU capacity model.  The
+  collective algorithms touch memory in whole slices, so tracking
+  residency per (buffer, offset, length) region is both fast and
+  faithful for this workload.  This is the model used by the timing
+  simulation.
+* :class:`SetAssociativeCache` — classic line-granular set-associative
+  simulator.  Too slow for 256 MB messages, but used by the test suite
+  to validate that the region model agrees with a "real" cache on small
+  workloads.
+
+Semantics (Section 2.2 of the paper):
+
+* **load** — hit bytes come from cache; miss bytes come from memory and
+  are allocated (possibly evicting dirty data, which charges a
+  write-back).
+* **temporal store** — write-allocate: a store miss raises a Request
+  For Ownership that *reads* the line from memory before writing it in
+  cache; the line is dirty and will be written back on eviction.
+* **non-temporal store** — bytes stream straight to memory with no
+  allocation and no RFO; any cached copy is invalidated (dropped
+  without write-back, as the NT store supersedes the stale line).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessResult:
+    """Byte-level outcome of one cache access.
+
+    ``hit`` + ``miss`` always equals the requested size.  ``rfo`` is the
+    extra memory *read* traffic triggered by store misses under
+    write-allocate.  ``writeback`` is dirty data evicted to memory as a
+    consequence of this access.
+    """
+
+    hit: int = 0
+    miss: int = 0
+    rfo: int = 0
+    writeback: int = 0
+
+    def __add__(self, other: "AccessResult") -> "AccessResult":
+        return AccessResult(
+            self.hit + other.hit,
+            self.miss + other.miss,
+            self.rfo + other.rfo,
+            self.writeback + other.writeback,
+        )
+
+    @property
+    def memory_read_bytes(self) -> int:
+        return self.miss + self.rfo
+
+    @property
+    def memory_write_bytes(self) -> int:
+        return self.writeback
+
+
+class RegionCache:
+    """Region-granular LRU model of one socket's cache capacity.
+
+    Keys are ``(buffer_id, start, length)`` tuples.  The collectives
+    access memory at consistent slice boundaries, so exact-key matching
+    is accurate for them; a partially overlapping access invalidates the
+    overlapped residents (write-back if dirty) and is treated as a miss
+    for the non-resident bytes.  The line-granular model in
+    :class:`SetAssociativeCache` cross-checks this approximation.
+    """
+
+    #: granularity of the per-buffer interval index used to find
+    #: overlapping residents without scanning every region
+    BUCKET = 64 * 1024
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._regions: OrderedDict[tuple, bool] = OrderedDict()  # key -> dirty
+        self._sizes: dict[tuple, int] = {}
+        self._used = 0
+        # Per-buffer index of resident keys, for overlap checks & flushes.
+        self._by_buffer: dict[int, set] = {}
+        # (buf_id, bucket) -> set of keys intersecting that bucket.
+        self._buckets: dict[tuple, set] = {}
+
+    # ---- bookkeeping ------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._regions
+
+    def _bucket_range(self, key: tuple):
+        buf_id, start, length = key
+        first = start // self.BUCKET
+        last = (start + length - 1) // self.BUCKET
+        return buf_id, first, last
+
+    def _index_add(self, key: tuple) -> None:
+        buf_id, first, last = self._bucket_range(key)
+        self._by_buffer.setdefault(buf_id, set()).add(key)
+        for b in range(first, last + 1):
+            self._buckets.setdefault((buf_id, b), set()).add(key)
+
+    def _index_remove(self, key: tuple) -> None:
+        buf_id, first, last = self._bucket_range(key)
+        self._by_buffer[buf_id].discard(key)
+        for b in range(first, last + 1):
+            bucket = self._buckets.get((buf_id, b))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._buckets[(buf_id, b)]
+
+    def _insert(self, key: tuple, size: int, dirty: bool) -> int:
+        """Insert a region, evicting LRU entries.  Returns write-back bytes."""
+        wb = 0
+        if key in self._regions:
+            # refresh
+            dirty = dirty or self._regions[key]
+            self._regions.move_to_end(key)
+            self._regions[key] = dirty
+            return 0
+        if size > self.capacity:
+            # A region larger than the whole cache cannot be resident;
+            # it streams through.  Model: not inserted, no write-back
+            # here (the caller already counted the miss traffic).
+            return 0
+        while self._used + size > self.capacity and self._regions:
+            old_key, old_dirty = self._regions.popitem(last=False)
+            old_size = self._sizes.pop(old_key)
+            self._index_remove(old_key)
+            self._used -= old_size
+            if old_dirty:
+                wb += old_size
+        self._regions[key] = dirty
+        self._sizes[key] = size
+        self._used += size
+        self._index_add(key)
+        return wb
+
+    def _drop(self, key: tuple, writeback_if_dirty: bool) -> int:
+        dirty = self._regions.pop(key)
+        size = self._sizes.pop(key)
+        self._index_remove(key)
+        self._used -= size
+        return size if (dirty and writeback_if_dirty) else 0
+
+    def _resolve_overlaps(self, buf_id: int, start: int, length: int) -> int:
+        """Evict residents that partially overlap [start, start+length).
+
+        Exact matches are kept (they are handled by the caller).  Returns
+        write-back bytes from evicted dirty overlaps.
+        """
+        end = start + length
+        first = start // self.BUCKET
+        last = (end - 1) // self.BUCKET
+        doomed = set()
+        for b in range(first, last + 1):
+            for k in self._buckets.get((buf_id, b), ()):
+                if (
+                    not (k[1] == start and k[2] == length)
+                    and k[1] < end
+                    and start < k[1] + k[2]
+                ):
+                    doomed.add(k)
+        wb = 0
+        for k in doomed:
+            wb += self._drop(k, writeback_if_dirty=True)
+        return wb
+
+    # ---- access API --------------------------------------------------------
+
+    def load(self, buf_id: int, start: int, length: int) -> AccessResult:
+        """Read ``length`` bytes; misses allocate."""
+        if length <= 0:
+            return AccessResult()
+        key = (buf_id, start, length)
+        if key in self._regions:
+            # exact residency excludes overlapping residents (inserts
+            # resolve overlaps), so the fast path skips the index scan
+            self._regions.move_to_end(key)
+            return AccessResult(hit=length)
+        wb = self._resolve_overlaps(buf_id, start, length)
+        wb += self._insert(key, length, dirty=False)
+        return AccessResult(miss=length, writeback=wb)
+
+    def store(self, buf_id: int, start: int, length: int) -> AccessResult:
+        """Temporal (write-allocate) store: misses pay an RFO read."""
+        if length <= 0:
+            return AccessResult()
+        key = (buf_id, start, length)
+        if key in self._regions:
+            self._regions.move_to_end(key)
+            self._regions[key] = True
+            return AccessResult(hit=length)
+        wb = self._resolve_overlaps(buf_id, start, length)
+        wb += self._insert(key, length, dirty=True)
+        if length > self.capacity:
+            # Streaming store larger than cache: write-allocate still
+            # reads every line once and dirty lines stream back out.
+            return AccessResult(miss=length, rfo=length, writeback=wb + length)
+        return AccessResult(miss=length, rfo=length, writeback=wb)
+
+    def store_nt(self, buf_id: int, start: int, length: int) -> AccessResult:
+        """Non-temporal store: no allocation, no RFO; invalidates copies."""
+        if length <= 0:
+            return AccessResult()
+        key = (buf_id, start, length)
+        if key in self._regions:
+            self._drop(key, writeback_if_dirty=False)
+        else:
+            self._resolve_overlaps(buf_id, start, length)
+        # All bytes go to memory; counted as misses with no RFO.
+        return AccessResult(miss=length)
+
+    def invalidate(self, key: tuple) -> None:
+        """Drop a region without write-back (coherence invalidation)."""
+        if key in self._regions:
+            self._drop(key, writeback_if_dirty=False)
+
+    def flush_buffer(self, buf_id: int) -> int:
+        """Drop all regions of one buffer, returning write-back bytes."""
+        keys = list(self._by_buffer.get(buf_id, ()))
+        return sum(self._drop(k, writeback_if_dirty=True) for k in keys)
+
+    def clear(self) -> None:
+        self._regions.clear()
+        self._sizes.clear()
+        self._by_buffer.clear()
+        self._buckets.clear()
+        self._used = 0
+
+
+class SetAssociativeCache:
+    """Line-granular set-associative cache with LRU replacement.
+
+    Addresses are ``(buffer_id, byte_offset)`` pairs; each buffer lives
+    in its own address space, mapped to sets by offset.  Used for
+    validating :class:`RegionCache` on small footprints.
+    """
+
+    def __init__(self, size: int, line_size: int = 64, associativity: int = 8):
+        if size % (line_size * associativity):
+            raise ValueError("size must be a multiple of line_size*associativity")
+        self.line_size = line_size
+        self.associativity = associativity
+        self.n_sets = size // (line_size * associativity)
+        self.size = size
+        # set index -> OrderedDict[(buf_id, line_addr)] -> dirty
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+
+    def _set_index(self, buf_id: int, line_addr: int) -> int:
+        # Hash the buffer id in so distinct buffers don't all collide at
+        # set 0 for offset 0.
+        return (line_addr + buf_id * 7919) % self.n_sets
+
+    def _touch_line(self, buf_id: int, line_addr: int, dirty: bool, allocate: bool):
+        """Access one line.  Returns (hit, writeback_lines)."""
+        idx = self._set_index(buf_id, line_addr)
+        s = self._sets[idx]
+        key = (buf_id, line_addr)
+        if key in s:
+            s.move_to_end(key)
+            if dirty:
+                s[key] = True
+            return True, 0
+        if not allocate:
+            return False, 0
+        wb = 0
+        if len(s) >= self.associativity:
+            _, old_dirty = s.popitem(last=False)
+            if old_dirty:
+                wb = 1
+        s[key] = dirty
+        return False, wb
+
+    def _lines(self, start: int, length: int):
+        first = start // self.line_size
+        last = (start + length - 1) // self.line_size
+        return range(first, last + 1)
+
+    def load(self, buf_id: int, start: int, length: int) -> AccessResult:
+        if length <= 0:
+            return AccessResult()
+        res = AccessResult()
+        for la in self._lines(start, length):
+            hit, wb = self._touch_line(buf_id, la, dirty=False, allocate=True)
+            if hit:
+                res.hit += self.line_size
+            else:
+                res.miss += self.line_size
+            res.writeback += wb * self.line_size
+        return res
+
+    def store(self, buf_id: int, start: int, length: int) -> AccessResult:
+        if length <= 0:
+            return AccessResult()
+        res = AccessResult()
+        for la in self._lines(start, length):
+            hit, wb = self._touch_line(buf_id, la, dirty=True, allocate=True)
+            if hit:
+                res.hit += self.line_size
+            else:
+                res.miss += self.line_size
+                res.rfo += self.line_size
+            res.writeback += wb * self.line_size
+        return res
+
+    def store_nt(self, buf_id: int, start: int, length: int) -> AccessResult:
+        if length <= 0:
+            return AccessResult()
+        res = AccessResult()
+        for la in self._lines(start, length):
+            idx = self._set_index(buf_id, la)
+            s = self._sets[idx]
+            key = (buf_id, la)
+            if key in s:
+                del s[key]  # invalidate without write-back
+            res.miss += self.line_size
+        return res
+
+    def clear(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(s) for s in self._sets) * self.line_size

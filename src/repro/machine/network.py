@@ -1,0 +1,102 @@
+"""Alpha-beta model of the inter-node interconnect.
+
+The multi-node experiments (Figures 16b, 17, 18) only require relative
+intra- vs inter-node costs.  We model each node's NIC as a full-duplex
+link with latency ``alpha`` and bandwidth ``beta``, plus the *multi-lane*
+effect the paper exploits (Section 5.5): a single MPI process cannot
+saturate a modern InfiniBand NIC, so implementations that communicate
+through one leader per node see only ``lane_bandwidth``; k concurrent
+processes see ``min(k * lane_bandwidth, link_bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import GB_S, US
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Per-node NIC characteristics."""
+
+    name: str
+    latency: float  # seconds, one message
+    link_bandwidth: float  # bytes/s, full NIC
+    lane_bandwidth: float  # bytes/s achievable by a single process
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.lane_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.lane_bandwidth > self.link_bandwidth:
+            raise ValueError("a single lane cannot exceed the link")
+
+
+#: 100 Gb/s-class fabric: ~12 GB/s links, one process drives ~4 GB/s.
+INFINIBAND_EDR = NetworkSpec(
+    name="InfiniBand-EDR",
+    latency=1.5 * US,
+    link_bandwidth=12.0 * GB_S,
+    lane_bandwidth=4.0 * GB_S,
+)
+
+
+class Network:
+    """Cost model for point-to-point and ring exchanges between nodes."""
+
+    def __init__(self, spec: NetworkSpec = INFINIBAND_EDR):
+        self.spec = spec
+        self.bytes_sent = 0
+        self.messages = 0
+
+    def effective_bandwidth(self, concurrent_procs: int) -> float:
+        """Aggregate node bandwidth seen by ``concurrent_procs`` senders."""
+        if concurrent_procs <= 0:
+            raise ValueError("need at least one sender")
+        return min(
+            concurrent_procs * self.spec.lane_bandwidth, self.spec.link_bandwidth
+        )
+
+    def p2p_time(self, nbytes: int, concurrent_procs: int = 1) -> float:
+        """One message of ``nbytes`` with the node link shared by
+        ``concurrent_procs`` concurrent streams (each gets an equal share
+        of the effective bandwidth)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_sent += nbytes
+        self.messages += 1
+        bw = self.effective_bandwidth(concurrent_procs) / concurrent_procs
+        return self.spec.latency + nbytes / bw
+
+    def ring_allreduce_time(
+        self, nbytes: int, nnodes: int, concurrent_procs: int = 1
+    ) -> float:
+        """Inter-node ring allreduce of ``nbytes`` (reduce-scatter +
+        allgather, the standard 2(n-1)/n exchange), with
+        ``concurrent_procs`` processes per node driving the NIC
+        (the paper's multi-lane hierarchical design splits the message
+        across processes)."""
+        if nnodes <= 1:
+            return 0.0
+        steps = 2 * (nnodes - 1)
+        chunk = nbytes / nnodes
+        bw = self.effective_bandwidth(concurrent_procs)
+        self.bytes_sent += int(chunk * steps)
+        self.messages += steps
+        return steps * (self.spec.latency + chunk / bw)
+
+    def tree_bcast_time(self, nbytes: int, nnodes: int) -> float:
+        """Binomial-tree broadcast across nodes, single leader per node."""
+        if nnodes <= 1:
+            return 0.0
+        import math
+
+        rounds = math.ceil(math.log2(nnodes))
+        self.bytes_sent += nbytes * (nnodes - 1)
+        self.messages += nnodes - 1
+        return rounds * (self.spec.latency + nbytes / self.spec.lane_bandwidth)
+
+    def tree_allreduce_time(self, nbytes: int, nnodes: int) -> float:
+        """Reduce+bcast binomial tree, single leader per node (models the
+        vendor tree collectives that win on small messages)."""
+        return 2.0 * self.tree_bcast_time(nbytes, nnodes)

@@ -1,0 +1,25 @@
+"""Analytical models: closed-form DAV (Tables 1–3), the adaptive
+non-temporal store switch-point model (Section 4.2/5.4), and an
+algebraic timing model cross-checked against the simulator.
+"""
+
+from repro.models.dav import (
+    DAV_FORMULAS,
+    dav_allreduce,
+    dav_reduce,
+    dav_reduce_scatter,
+    implementation_dav,
+)
+from repro.models.nt_model import nt_switch_message_size, uses_nt_store
+from repro.models.timing import predict_time
+
+__all__ = [
+    "DAV_FORMULAS",
+    "dav_allreduce",
+    "dav_reduce",
+    "dav_reduce_scatter",
+    "implementation_dav",
+    "nt_switch_message_size",
+    "uses_nt_store",
+    "predict_time",
+]

@@ -1,0 +1,150 @@
+"""Closed-form data-access-volume formulas (Tables 1, 2 and 3).
+
+Two families of formulas live here:
+
+* ``*_paper`` — the table rows exactly as printed in the paper;
+* ``*_impl`` — what this package's implementations actually move,
+  which the simulator's traffic counters must match **exactly**
+  (integration tests enforce equality).
+
+For most rows the two agree; the documented exceptions are constant
+``O(s)`` terms where the paper's arithmetic is internally inconsistent
+(re-derivable from its own Section 3 accounting):
+
+===============  ======================  ==========================
+algorithm        paper                   implementation
+===============  ======================  ==========================
+DPML allreduce   ``s(7p - 1)``           ``s(7p - 3)``
+DPML reduce      ``s(5p + 1)``           ``s(5p - 1)``
+Ring allreduce   ``7s(p - 1)``           ``7s(p-1) + 2s`` (own-chunk
+                                         copy-out)
+Rabenseifner     ``5sp * sum`` / ``7sp   ``+ 2s``/``+ 4s`` block- and
+                 * sum``                 result-delivery constants
+===============  ======================  ==========================
+
+All formulas take the per-rank message size ``s`` in bytes and return
+bytes per node.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _harmonic_halving(p: int) -> float:
+    """``1/2 + 1/4 + ... + 1/p`` for power-of-two ``p`` (= 1 - 1/p);
+    generalized via the power-of-two below ``p`` otherwise."""
+    total = 0.0
+    k = 2
+    while k <= p:
+        total += 1.0 / k
+        k *= 2
+    return total
+
+
+def _rg_levels(p: int, k: int):
+    """Survivor counts per level of a (k+1)-ary reduction tree."""
+    counts = []
+    n = p
+    while n > 1:
+        groups = math.ceil(n / (k + 1))
+        counts.append((n, groups))
+        n = groups
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Table 1: reduce-scatter
+# ---------------------------------------------------------------------------
+
+
+def dav_reduce_scatter(algorithm: str, s: int, p: int, *, m: int = 2,
+                       k: int = 2, paper: bool = True) -> float:
+    """DAV of a reduce-scatter algorithm (Table 1)."""
+    if algorithm == "ring":
+        return 5.0 * s * (p - 1)
+    if algorithm == "rabenseifner":
+        base = 5.0 * s * p * _harmonic_halving(p)
+        return base if paper else base + 2.0 * s
+    if algorithm == "dpml":
+        return s * (5.0 * p - 1.0)
+    if algorithm == "ma":
+        return s * (3.0 * p - 1.0)
+    if algorithm == "socket-ma":
+        return s * (3.0 * p + 2.0 * m - 3.0)
+    raise ValueError(f"unknown reduce-scatter algorithm {algorithm!r}")
+
+
+# ---------------------------------------------------------------------------
+# Table 2: allreduce
+# ---------------------------------------------------------------------------
+
+
+def dav_allreduce(algorithm: str, s: int, p: int, *, m: int = 2, k: int = 2,
+                  paper: bool = True) -> float:
+    """DAV of an allreduce algorithm (Table 2)."""
+    if algorithm == "ring":
+        base = 7.0 * s * (p - 1)
+        return base if paper else base + 2.0 * s
+    if algorithm == "rabenseifner":
+        base = 7.0 * s * p * _harmonic_halving(p)
+        return base if paper else base + 4.0 * s
+    if algorithm == "dpml":
+        return s * (7.0 * p - 1.0) if paper else s * (7.0 * p - 3.0)
+    if algorithm == "rg":
+        total = _rg_tree_dav(s, p, k, paper)
+        return total + 2.0 * s * p
+    if algorithm == "ma":
+        return s * (5.0 * p - 1.0)
+    if algorithm == "socket-ma":
+        return s * (5.0 * p + 2.0 * m - 3.0)
+    if algorithm == "xpmem":
+        return 5.0 * s * (p - 1)
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def _rg_tree_dav(s: int, p: int, k: int, paper: bool) -> float:
+    """Tree-phase DAV of the RG design: leaf level pays copy-in plus
+    reduce (5s per child), inner levels reduce in place (3s per child).
+    The implementation additionally copies a level-0 singleton parent's
+    slice into its slot (2s) when ``p mod (k+1) == 1``."""
+    total = 0.0
+    for level, (n, groups) in enumerate(_rg_levels(p, k)):
+        children = n - groups
+        total += (5.0 if level == 0 else 3.0) * s * children
+    if not paper and p > 1 and p % (k + 1) == 1:
+        total += 2.0 * s
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Table 3: reduce
+# ---------------------------------------------------------------------------
+
+
+def dav_reduce(algorithm: str, s: int, p: int, *, m: int = 2, k: int = 2,
+               paper: bool = True) -> float:
+    """DAV of a rooted reduce algorithm (Table 3)."""
+    if algorithm == "dpml":
+        return s * (5.0 * p + 1.0) if paper else s * (5.0 * p - 1.0)
+    if algorithm == "rg":
+        return _rg_tree_dav(s, p, k, paper)
+    if algorithm == "ma":
+        return s * (3.0 * p + 1.0)
+    if algorithm == "socket-ma":
+        return s * (3.0 * p + 2.0 * m - 1.0)
+    raise ValueError(f"unknown reduce algorithm {algorithm!r}")
+
+
+#: (kind, algorithm) -> formula, for table-driven tests and benches
+DAV_FORMULAS = {
+    "reduce_scatter": dav_reduce_scatter,
+    "allreduce": dav_allreduce,
+    "reduce": dav_reduce,
+}
+
+
+def implementation_dav(kind: str, algorithm: str, s: int, p: int, *,
+                       m: int = 2, k: int = 2) -> float:
+    """DAV this package's implementation is expected to count."""
+    return DAV_FORMULAS[kind](algorithm, s, p, m=m, k=k, paper=False)

@@ -1,0 +1,54 @@
+"""Algebraic timing model: time = traffic / bandwidth + synchronization.
+
+A deliberately coarse first-order model — no cache simulation — used to
+(a) sanity-check the event simulator (tests assert agreement within a
+factor) and (b) give users a quick back-of-envelope API:
+
+    time ≈ memory_traffic / node_stream_bandwidth
+           + sync_steps * sync_latency
+           + ops * op_overhead
+
+``memory_traffic`` is estimated from the DAV formula and a store-path
+multiplier: temporal stores triple the store traffic (RFO + write-back)
+once the working set exceeds the cache, NT stores don't.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import MachineSpec, available_cache_capacity
+from repro.models.dav import DAV_FORMULAS
+from repro.models.nt_model import work_set_size
+
+#: sync steps on the critical path, per algorithm (rounds as f(p))
+_SYNC_STEPS = {
+    "ma": lambda s, p, imax: (p - 1) * max(1, s // (p * imax)),
+    "socket-ma": lambda s, p, imax: (p // 2 - 1) * max(1, s // (p * imax)) + 1,
+    "ring": lambda s, p, imax: p - 1,
+    "rabenseifner": lambda s, p, imax: max(1, p.bit_length() - 1),
+    "dpml": lambda s, p, imax: 2,
+    "rg": lambda s, p, imax: max(1, p.bit_length() - 1) + s // imax,
+}
+
+
+def predict_time(kind: str, algorithm: str, s: int, p: int,
+                 machine: MachineSpec, *, imax: int = 256 * 1024,
+                 nt_stores: bool = False) -> float:
+    """First-order completion-time estimate for one collective (seconds)."""
+    dav = DAV_FORMULAS[kind](algorithm, s, p, m=machine.sockets, paper=False)
+    cache = available_cache_capacity(machine, p)
+    w = work_set_size(
+        kind if kind in ("allreduce", "reduce", "reduce_scatter") else "allreduce",
+        s, p, m=machine.sockets, imax=imax,
+    )
+    # store-path multiplier: roughly 1/3 of DAV bytes are stores; when
+    # streaming past the cache each temporal store costs 3x its bytes.
+    if w > cache:
+        store_factor = 1.0 if nt_stores else 5.0 / 3.0
+        traffic = dav * store_factor
+    else:
+        traffic = dav / 4.0  # mostly cache-resident
+    bw = machine.mem_bandwidth_node
+    sync_fn = _SYNC_STEPS.get(algorithm, lambda s, p, imax: p)
+    syncs = sync_fn(s, p, imax)
+    t_sync = syncs * machine.sync_latency_intra * 2
+    return traffic / bw + t_sync

@@ -1,0 +1,87 @@
+"""Reproduction report builder.
+
+Collects the tables the benchmark suite wrote under
+``benchmarks/results/`` into a single markdown report, ordered by the
+paper's experiment index — the regenerable companion to EXPERIMENTS.md.
+
+    python -m repro report [--results DIR] [--out FILE]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: experiment index: (results-file glob prefix, section heading)
+EXPERIMENT_ORDER = [
+    ("fig03", "Figure 3 — copy-out overhead vs slice size"),
+    ("table1", "Table 1 — DAV of reduce-scatter algorithms"),
+    ("table2", "Table 2 — DAV of all-reduce algorithms"),
+    ("table3", "Table 3 — DAV of reduce algorithms"),
+    ("table4", "Table 4 — sliced STREAM bandwidth"),
+    ("fig09", "Figure 9 — reduce-scatter comparison"),
+    ("fig10", "Figure 10 — reduce comparison"),
+    ("fig11", "Figure 11 — all-reduce comparison"),
+    ("fig12", "Figure 12 — adaptive all-reduce"),
+    ("fig13", "Figure 13 — adaptive broadcast"),
+    ("fig14", "Figure 14 — adaptive all-gather"),
+    ("fig15", "Figure 15 — vs state-of-the-art MPIs"),
+    ("fig16a", "Figure 16a — single-node scalability"),
+    ("fig16b", "Figure 16b — multi-node all-reduce"),
+    ("fig17", "Figure 17 — MiniAMR"),
+    ("table5", "Table 5 — CMA copy vs adaptive-copy"),
+    ("fig18", "Figure 18 — CNN training throughput"),
+    ("ablation", "Ablations (beyond the paper)"),
+    ("model_validation", "Model validation"),
+]
+
+
+@dataclass
+class ReportSection:
+    heading: str
+    files: list
+
+
+def collect_sections(results_dir: Path) -> list:
+    """Group the results files by experiment, in paper order."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(
+            f"{results_dir} does not exist — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    all_files = sorted(results_dir.glob("*.txt"))
+    used: set = set()
+    sections = []
+    for prefix, heading in EXPERIMENT_ORDER:
+        files = [f for f in all_files if f.name.startswith(prefix)]
+        if files:
+            sections.append(ReportSection(heading=heading, files=files))
+            used.update(files)
+    leftovers = [f for f in all_files if f not in used]
+    if leftovers:
+        sections.append(ReportSection(heading="Other results",
+                                      files=leftovers))
+    return sections
+
+
+def build_report(results_dir: Path, *, title: Optional[str] = None) -> str:
+    """Render the full markdown report."""
+    sections = collect_sections(results_dir)
+    lines = [
+        title or "# Reproduction report — regenerated benchmark tables",
+        "",
+        "Produced from the text tables the benchmark suite wrote to "
+        f"`{results_dir}`.  See EXPERIMENTS.md for the paper-vs-measured "
+        "analysis of each experiment.",
+    ]
+    for sec in sections:
+        lines += ["", f"## {sec.heading}", ""]
+        for f in sec.files:
+            lines += ["```", f.read_text().rstrip(), "```", ""]
+    return "\n".join(lines)
+
+
+def write_report(results_dir: Path, out: Path) -> Path:
+    out.write_text(build_report(results_dir) + "\n")
+    return out

@@ -1,0 +1,478 @@
+"""Cooperative execution engine for simulated MPI ranks.
+
+Each rank is a Python generator produced by calling the *program*
+callable with a :class:`RankCtx`.  Data operations (copy / reduce)
+execute immediately when the rank runs and advance that rank's clock via
+the machine model; synchronization points are ``yield``\\ ed to the
+engine, which releases them when their condition is met and reconciles
+the participants' clocks.
+
+Why this is sound: within one rank, operations execute in program
+order.  Across ranks, a *correct* shared-memory collective protects
+every cross-rank read-after-write with a flag or barrier — exactly the
+events the engine orders.  So any interleaving the engine chooses
+between sync points is one the real machine could have exhibited, and
+the functional results are deterministic.
+
+Synchronization primitives (mirroring the paper's implementation, which
+uses per-process atomic flags and a node barrier — Section 3.3):
+
+* ``ctx.post(tag)`` — non-blocking: publish that this rank reached
+  ``tag`` (an atomic flag update).
+* ``yield ctx.wait(tag, count=1)`` — block until ``count`` posts of
+  ``tag`` exist.  Tags must be unique per step (include step indices);
+  waits do not consume posts, so one post can release many waiters
+  (broadcast-style signalling).
+* ``yield ctx.barrier(group=None)`` — rendezvous of ``group`` (default:
+  all ranks); matched by per-group arrival order.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.memory import MemorySystem, TrafficCounters
+from repro.machine.spec import MachineSpec
+from repro.sim.buffers import Buffer, BufView, SharedBuffer, alloc, alloc_shared
+from repro.sim.trace import OpRecord, Trace
+
+REDUCE_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+_UFUNC_CACHE: dict = dict(REDUCE_OPS)
+
+
+def resolve_ufunc(op: str):
+    """Name -> elementwise combiner.  Falls back to the operator
+    registry in :mod:`repro.collectives.ops` for user-registered ops
+    (imported lazily: the collectives package imports this module)."""
+    try:
+        return _UFUNC_CACHE[op]
+    except KeyError:
+        from repro.collectives.ops import get_op
+
+        ufunc = get_op(op).ufunc
+        _UFUNC_CACHE[op] = ufunc
+        return ufunc
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress: a sync will never be satisfied."""
+
+
+@dataclass(frozen=True)
+class _Wait:
+    tag: object
+    count: int
+
+
+@dataclass(frozen=True)
+class _Barrier:
+    group: tuple
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    times: list  # per-rank completion time (seconds)
+    traffic: Optional[TrafficCounters]
+    per_rank_traffic: Optional[list]
+    trace: Optional[Trace]
+    sync_count: int
+
+    @property
+    def time(self) -> float:
+        """Collective completion time: the slowest rank."""
+        return max(self.times)
+
+    @property
+    def avg_time(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def dav(self) -> int:
+        if self.traffic is None:
+            raise RuntimeError("run had no machine model attached")
+        return self.traffic.dav
+
+
+class RankCtx:
+    """Per-rank handle passed to algorithm programs."""
+
+    __slots__ = ("engine", "rank", "clock", "_gen")
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.clock = 0.0
+        self._gen = None
+
+    # ---- topology ----------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.engine.nranks
+
+    @property
+    def machine(self) -> Optional[MachineSpec]:
+        return self.engine.machine
+
+    @property
+    def socket(self) -> int:
+        if self.engine.memsys is None:
+            return 0
+        return self.engine.memsys.socket_of_rank(self.rank)
+
+    # ---- data operations ------------------------------------------------------
+
+    def copy(self, dst: BufView, src: BufView, *, nt: bool = False,
+             policy: str = "", extra_time: float = 0.0,
+             concurrency=None, load_concurrency=None) -> None:
+        """Copy ``src`` into ``dst`` (sizes must match).
+
+        ``concurrency`` caps the number of ranks assumed to share the
+        memory bus for this op; ``load_concurrency`` overrides it for
+        the load side only — used when many ranks cooperatively read
+        the *same* data (each byte crosses the bus once, not p times).
+        """
+        eng = self.engine
+        if dst.nbytes != src.nbytes:
+            raise ValueError(
+                f"copy size mismatch: {src.nbytes} -> {dst.nbytes} bytes"
+            )
+        t0 = self.clock
+        if eng.functional and not (src.is_virtual or dst.is_virtual):
+            np.copyto(dst.array(), src.array())
+        if eng.memsys is not None:
+            dt = eng.memsys.load(
+                self.rank, src.buf, src.off, src.nbytes,
+                concurrency=(load_concurrency if load_concurrency
+                             is not None else concurrency),
+            )
+            dt += eng.memsys.store(self.rank, dst.buf, dst.off, dst.nbytes,
+                                   nt=nt, concurrency=concurrency)
+            self.clock += dt + eng.machine.op_overhead + extra_time
+        eng._record(self, "copy", src.nbytes, src, dst, nt=nt, policy=policy,
+                    t0=t0)
+
+    def reduce_acc(self, dst: BufView, src: BufView, *, op: str = "sum",
+                   nt: bool = False, concurrency=None) -> None:
+        """``dst (op)= src`` — two loads, one store (3n DAV)."""
+        self._reduce("reduce_acc", dst, (dst, src), op, nt, concurrency)
+
+    def reduce_out(self, dst: BufView, a: BufView, b: BufView, *,
+                   op: str = "sum", nt: bool = False,
+                   concurrency=None) -> None:
+        """``dst = a (op) b`` — two loads, one store (3n DAV)."""
+        self._reduce("reduce_out", dst, (a, b), op, nt, concurrency)
+
+    def _reduce(self, kind: str, dst: BufView, srcs, op: str, nt: bool,
+                concurrency=None) -> None:
+        eng = self.engine
+        n = dst.nbytes
+        for s in srcs:
+            if s.nbytes != n:
+                raise ValueError("reduce operand size mismatch")
+        t0 = self.clock
+        if eng.functional and not (dst.is_virtual or any(s.is_virtual for s in srcs)):
+            ufunc = resolve_ufunc(op)
+            a, b = srcs
+            ufunc(a.array(), b.array(), out=dst.array())
+        if eng.memsys is not None:
+            dt = 0.0
+            for s in srcs:
+                dt += eng.memsys.load(self.rank, s.buf, s.off, s.nbytes,
+                                      concurrency=concurrency)
+            dt += eng.memsys.store(self.rank, dst.buf, dst.off, n, nt=nt,
+                                   concurrency=concurrency)
+            self.clock += dt + eng.machine.op_overhead
+        eng._record(self, kind, n, srcs[-1], dst, nt=nt, t0=t0)
+
+    def compute(self, seconds: float) -> None:
+        """Model a pure-compute region (used by the applications)."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        t0 = self.clock
+        self.clock += seconds
+        self.engine._record(self, "compute", 0, t0=t0)
+
+    def touch(self, view: BufView) -> None:
+        """Load a view without copying (e.g. application reads a result)."""
+        eng = self.engine
+        if eng.memsys is not None:
+            self.clock += eng.memsys.load(self.rank, view.buf, view.off, view.nbytes)
+
+    # ---- synchronization ---------------------------------------------------------
+
+    def post(self, tag: object) -> None:
+        """Signal ``tag`` (atomic flag update; non-blocking)."""
+        self.engine._posts.setdefault(tag, []).append((self.rank, self.clock))
+
+    def wait(self, tag: object, count: int = 1) -> _Wait:
+        """Event: block until ``count`` ranks have posted ``tag``."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return _Wait(tag, count)
+
+    def barrier(self, group: Optional[Sequence[int]] = None) -> _Barrier:
+        """Event: rendezvous of ``group`` (default: every rank)."""
+        g = tuple(range(self.nranks)) if group is None else tuple(sorted(group))
+        if self.rank not in g:
+            raise ValueError(f"rank {self.rank} is not in barrier group {g}")
+        return _Barrier(g)
+
+
+class Engine:
+    """Schedules rank programs and aggregates timing/traffic results."""
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        machine: Optional[MachineSpec] = None,
+        functional: bool = True,
+        dtype=np.float64,
+        trace: bool = False,
+        seed: int = 12345,
+        schedule_seed: Optional[int] = None,
+        cache_model: str = "region",
+    ):
+        """``schedule_seed`` randomizes the order runnable ranks are
+        scheduled in.  A correct collective synchronizes every cross-rank
+        dependency, so its *functional result must be identical under
+        every schedule* — the property tests drive this as a concurrency
+        fuzzer.  ``None`` keeps the deterministic FIFO order."""
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        if machine is not None:
+            machine.validate_nranks(nranks)
+        self.nranks = nranks
+        self.machine = machine
+        self.functional = functional
+        self.dtype = np.dtype(dtype)
+        self.memsys = (
+            MemorySystem(machine, nranks, cache_model=cache_model)
+            if machine
+            else None
+        )
+        self.trace: Optional[Trace] = Trace() if trace else None
+        self.rng = np.random.default_rng(seed)
+        self._sched_rng = (
+            np.random.default_rng(schedule_seed)
+            if schedule_seed is not None
+            else None
+        )
+        self._posts: dict = {}
+        self._barrier_seq: dict = {}
+        self._barrier_arrivals: dict = {}
+        self._sync_count = 0
+
+    # ---- allocation ----------------------------------------------------------
+
+    def alloc(self, rank: int, nbytes: int, *, fill=None, random=False,
+              name: str = "") -> Buffer:
+        """Private buffer homed on ``rank``'s socket."""
+        buf = alloc(
+            nbytes,
+            dtype=self.dtype,
+            functional=self.functional,
+            fill=fill,
+            rng=self.rng if random else None,
+            owner=rank,
+            name=name or f"rank{rank}.buf",
+        )
+        if self.memsys is not None:
+            buf.home_socket = self.memsys.socket_of_rank(rank)
+        return buf
+
+    def alloc_shared(self, nbytes: int, *, name: str = "shm") -> SharedBuffer:
+        return alloc_shared(
+            nbytes, dtype=self.dtype, functional=self.functional, name=name
+        )
+
+    # ---- tracing -----------------------------------------------------------------
+
+    def _record(self, ctx: RankCtx, kind: str, nbytes: int, src=None, dst=None,
+                *, nt=None, policy: str = "", t0: float = 0.0) -> None:
+        if self.trace is None:
+            return
+        self.trace.add(
+            OpRecord(
+                rank=ctx.rank,
+                kind=kind,
+                nbytes=nbytes,
+                src=getattr(getattr(src, "buf", None), "name", ""),
+                dst=getattr(getattr(dst, "buf", None), "name", ""),
+                nt=nt,
+                policy=policy,
+                t_start=t0,
+                t_end=ctx.clock,
+            )
+        )
+
+    # ---- sync cost helpers -----------------------------------------------------------
+
+    def _pair_latency(self, r1: int, r2: int) -> float:
+        if self.machine is None:
+            return 0.0
+        if self.memsys.socket_of_rank(r1) == self.memsys.socket_of_rank(r2):
+            return self.machine.sync_latency_intra
+        return self.machine.sync_latency_inter
+
+    def _group_latency(self, group: tuple) -> float:
+        if self.machine is None:
+            return 0.0
+        sockets = {self.memsys.socket_of_rank(r) for r in group}
+        lat = (
+            self.machine.sync_latency_inter
+            if len(sockets) > 1
+            else self.machine.sync_latency_intra
+        )
+        rounds = max(1, math.ceil(math.log2(max(2, len(group)))))
+        return 2.0 * rounds * lat
+
+    # ---- the scheduler -------------------------------------------------------------
+
+    def run(self, program: Callable, ranks: Optional[Sequence[int]] = None,
+            *, reset_clocks: bool = True, start_times: Optional[list] = None
+            ) -> RunResult:
+        """Run ``program(ctx)`` on every rank in ``ranks`` to completion.
+
+        ``program`` may be a plain function (no internal syncs) or a
+        generator function yielding sync events.
+        """
+        ranks = list(range(self.nranks)) if ranks is None else list(ranks)
+        if self.memsys is not None:
+            self.memsys.set_active_ranks(ranks)
+            self.memsys.reset_counters()
+        self._posts.clear()
+        self._barrier_seq.clear()
+        self._barrier_arrivals.clear()
+        self._sync_count = 0
+
+        ctxs = {r: RankCtx(self, r) for r in ranks}
+        if start_times is not None:
+            for r in ranks:
+                ctxs[r].clock = start_times[r]
+        elif not reset_clocks:
+            raise ValueError("reset_clocks=False requires start_times")
+
+        gens: dict[int, object] = {}
+        done: set[int] = set()
+        for r in ranks:
+            out = program(ctxs[r])
+            if inspect.isgenerator(out):
+                gens[r] = out
+            else:
+                done.add(r)
+
+        blocked: dict[int, object] = {}
+        runnable = deque(r for r in ranks if r in gens)
+
+        while runnable or blocked:
+            if not runnable:
+                self._diagnose_deadlock(blocked, ctxs)
+            if self._sched_rng is not None and len(runnable) > 1:
+                runnable.rotate(
+                    int(self._sched_rng.integers(0, len(runnable)))
+                )
+            r = runnable.popleft()
+            gen = gens[r]
+            ctx = ctxs[r]
+            while True:
+                try:
+                    ev = next(gen)
+                except StopIteration:
+                    done.add(r)
+                    del gens[r]
+                    break
+                satisfied, newly = self._handle_event(r, ctx, ev, ctxs)
+                for nr in newly:
+                    if nr != r and nr in blocked:
+                        del blocked[nr]
+                        runnable.append(nr)
+                if satisfied:
+                    continue
+                blocked[r] = ev
+                break
+            # re-check ranks whose waits may now be satisfiable by posts
+            # made while r was running
+            for br in list(blocked):
+                bev = blocked[br]
+                if isinstance(bev, _Wait) and self._wait_ready(bev):
+                    self._release_wait(ctxs[br], bev)
+                    del blocked[br]
+                    runnable.append(br)
+
+        times = [0.0] * self.nranks
+        for r in ranks:
+            times[r] = ctxs[r].clock
+        return RunResult(
+            times=[times[r] for r in ranks] if ranks != list(range(self.nranks))
+            else times,
+            traffic=self.memsys.counters if self.memsys else None,
+            per_rank_traffic=self.memsys.per_rank if self.memsys else None,
+            trace=self.trace,
+            sync_count=self._sync_count,
+        )
+
+    # ---- event handling -------------------------------------------------------
+
+    def _wait_ready(self, ev: _Wait) -> bool:
+        return len(self._posts.get(ev.tag, ())) >= ev.count
+
+    def _release_wait(self, ctx: RankCtx, ev: _Wait) -> None:
+        posts = self._posts[ev.tag][: ev.count]
+        self._sync_count += 1
+        t = ctx.clock
+        for pr, pclock in posts:
+            t = max(t, pclock + self._pair_latency(pr, ctx.rank))
+        ctx.clock = t
+
+    def _handle_event(self, r: int, ctx: RankCtx, ev, ctxs):
+        """Returns (satisfied_for_r, ranks_released)."""
+        if isinstance(ev, _Wait):
+            if self._wait_ready(ev):
+                self._release_wait(ctx, ev)
+                return True, ()
+            return False, ()
+        if isinstance(ev, _Barrier):
+            seq_key = (ev.group, r)
+            n = self._barrier_seq.get(seq_key, 0)
+            self._barrier_seq[seq_key] = n + 1
+            bucket_key = (ev.group, n)
+            bucket = self._barrier_arrivals.setdefault(bucket_key, {})
+            bucket[r] = ctx.clock
+            if len(bucket) == len(ev.group):
+                self._sync_count += 1
+                t = max(bucket.values()) + self._group_latency(ev.group)
+                released = []
+                for br in ev.group:
+                    ctxs[br].clock = t
+                    if br != r:
+                        released.append(br)
+                del self._barrier_arrivals[bucket_key]
+                return True, released
+            return False, ()
+        raise TypeError(f"rank {r} yielded a non-event: {ev!r}")
+
+    def _diagnose_deadlock(self, blocked, ctxs):
+        lines = []
+        for r, ev in blocked.items():
+            if isinstance(ev, _Wait):
+                have = len(self._posts.get(ev.tag, ()))
+                lines.append(f"rank {r}: wait({ev.tag!r}, {ev.count}) has {have}")
+            else:
+                lines.append(f"rank {r}: barrier{ev.group}")
+        raise DeadlockError("simulation deadlock:\n  " + "\n  ".join(lines))

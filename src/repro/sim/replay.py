@@ -1,0 +1,84 @@
+"""Trace serialization and schedule comparison.
+
+Traces are the ground truth of what a collective did; persisting them
+enables postmortem analysis, cross-version regression diffs, and the
+golden-schedule tests (the Figure 6 step table is pinned as a golden
+trace).
+
+* :func:`trace_to_json` / :func:`trace_from_json` — lossless round-trip
+  of a :class:`~repro.sim.trace.Trace`.
+* :func:`schedule_signature` — the order-insensitive *schedule* of a
+  trace: per rank, the sequence of (kind, bytes, nt) operations.  Two
+  runs of the same algorithm must have equal signatures even if timing
+  constants change; a schedule regression (reordered, missing or
+  resized operation) changes it.
+* :func:`diff_schedules` — human-readable first divergence between two
+  signatures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.sim.trace import OpRecord, Trace
+
+_FIELDS = ("rank", "kind", "nbytes", "src", "dst", "nt", "policy",
+           "t_start", "t_end")
+
+
+def trace_to_json(trace: Trace, *, indent: Optional[int] = None) -> str:
+    """Serialize a trace to JSON (schema: list of record objects)."""
+    payload = {
+        "version": 1,
+        "records": [
+            {f: getattr(r, f) for f in _FIELDS} for r in trace
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Parse a trace serialized by :func:`trace_to_json`."""
+    payload = json.loads(text)
+    if payload.get("version") != 1:
+        raise ValueError(
+            f"unsupported trace version {payload.get('version')!r}"
+        )
+    trace = Trace()
+    for rec in payload["records"]:
+        unknown = set(rec) - set(_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown trace fields {sorted(unknown)}")
+        trace.add(OpRecord(**rec))
+    return trace
+
+
+def schedule_signature(trace: Trace) -> dict:
+    """Per-rank operation sequence, stripped of timing.
+
+    ``{rank: [(kind, nbytes, nt), ...]}`` — equal across runs whose
+    *schedules* agree, regardless of machine constants.  ``compute``
+    records are excluded (their presence depends on app models, not the
+    collective schedule).
+    """
+    sig: dict[int, list] = {}
+    for r in trace:
+        if r.kind == "compute":
+            continue
+        sig.setdefault(r.rank, []).append((r.kind, r.nbytes, bool(r.nt)))
+    return sig
+
+
+def diff_schedules(a: dict, b: dict) -> Optional[str]:
+    """First divergence between two signatures, or ``None`` if equal."""
+    ranks = sorted(set(a) | set(b))
+    for rank in ranks:
+        sa, sb = a.get(rank, []), b.get(rank, [])
+        if sa == sb:
+            continue
+        for i, (xa, xb) in enumerate(zip(sa, sb)):
+            if xa != xb:
+                return (f"rank {rank} op {i}: {xa} != {xb}")
+        return (f"rank {rank}: lengths differ ({len(sa)} vs {len(sb)})")
+    return None

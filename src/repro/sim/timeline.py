@@ -1,0 +1,130 @@
+"""ASCII timeline rendering of operation traces.
+
+Turns an engine :class:`~repro.sim.trace.Trace` into a per-rank Gantt
+chart, the fastest way to *see* a collective's schedule: the MA
+pipeline's diagonal copy wavefront, the barrier walls of DPML's phases,
+a broadcast's root/reader overlap.
+
+    eng = Engine(4, machine=TINY, functional=False, trace=True)
+    run_reduce_collective(MA_REDUCE_SCATTER, eng, 4096, imax=512)
+    print(render_timeline(eng.trace, width=72))
+
+Each character cell is a time bucket; the glyph is the operation that
+occupied most of it: ``c`` copy (``C`` non-temporal), ``r`` reduce,
+``x`` compute, ``.`` idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.trace import Trace
+
+_GLYPHS = {
+    ("copy", False): "c",
+    ("copy", True): "C",
+    ("reduce_acc", False): "r",
+    ("reduce_out", False): "r",
+    ("reduce_acc", True): "R",
+    ("reduce_out", True): "R",
+    ("compute", False): "x",
+}
+
+
+@dataclass
+class TimelineStats:
+    """Per-rank busy/idle accounting extracted from a trace."""
+
+    rank: int
+    busy: float
+    span: float
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.span if self.span > 0 else 0.0
+
+
+def _glyph(kind: str, nt) -> str:
+    return _GLYPHS.get((kind, bool(nt)), "?")
+
+
+def render_timeline(trace: Trace, *, width: int = 80,
+                    ranks: Optional[list] = None,
+                    show_utilization: bool = True) -> str:
+    """Render the trace as one row of ``width`` buckets per rank."""
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    records = [r for r in trace if r.t_end > r.t_start]
+    if not records:
+        return "(empty trace)"
+    t_end = max(r.t_end for r in records)
+    if t_end <= 0:
+        return "(trace has no timed operations)"
+    all_ranks = sorted({r.rank for r in records})
+    ranks = all_ranks if ranks is None else [r for r in ranks if r in all_ranks]
+    bucket = t_end / width
+
+    lines = [f"timeline: {t_end * 1e6:.1f} us across {width} buckets "
+             f"({bucket * 1e6:.2f} us each)"]
+    lines.append("glyphs: c/C copy (temporal/NT), r reduce, x compute, . idle")
+    for rank in ranks:
+        row = [" "] * width
+        fills = [0.0] * width
+        for rec in records:
+            if rec.rank != rank:
+                continue
+            first = min(width - 1, int(rec.t_start / bucket))
+            last = min(width - 1, int(max(rec.t_start, rec.t_end - 1e-15)
+                                      / bucket))
+            g = _glyph(rec.kind, rec.nt)
+            for b in range(first, last + 1):
+                overlap = min(rec.t_end, (b + 1) * bucket) - max(
+                    rec.t_start, b * bucket
+                )
+                if overlap > fills[b]:
+                    fills[b] = overlap
+                    row[b] = g
+        text = "".join(ch if ch != " " else "." for ch in row)
+        suffix = ""
+        if show_utilization:
+            st = rank_stats(trace, rank)
+            suffix = f"  {100 * st.utilization:5.1f}% busy"
+        lines.append(f"rank {rank:>3} |{text}|{suffix}")
+    return "\n".join(lines)
+
+
+def rank_stats(trace: Trace, rank: int) -> TimelineStats:
+    """Busy time vs the global span, for one rank."""
+    records = [r for r in trace if r.t_end > r.t_start]
+    span = max((r.t_end for r in records), default=0.0)
+    busy = sum(
+        r.t_end - r.t_start for r in records if r.rank == rank
+    )
+    return TimelineStats(rank=rank, busy=busy, span=span)
+
+
+def critical_rank(trace: Trace) -> int:
+    """The rank whose last operation finishes the collective."""
+    records = [r for r in trace if r.t_end > r.t_start]
+    if not records:
+        raise ValueError("empty trace")
+    return max(records, key=lambda r: r.t_end).rank
+
+
+def phase_summary(trace: Trace, *, buckets: int = 4) -> list:
+    """Traffic per time quartile: [(t_from, t_to, copy_bytes,
+    reduce_bytes)] — a quick view of where the bytes move."""
+    records = [r for r in trace if r.t_end > r.t_start]
+    if not records:
+        return []
+    t_end = max(r.t_end for r in records)
+    edges = [t_end * i / buckets for i in range(buckets + 1)]
+    out = []
+    for lo, hi in zip(edges, edges[1:]):
+        copy_b = sum(r.nbytes for r in records
+                     if r.kind == "copy" and lo <= r.t_start < hi)
+        red_b = sum(r.nbytes for r in records
+                    if r.kind.startswith("reduce") and lo <= r.t_start < hi)
+        out.append((lo, hi, copy_b, red_b))
+    return out

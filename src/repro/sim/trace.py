@@ -1,0 +1,81 @@
+"""Structured operation trace for debugging and DAV verification.
+
+Tracing is optional (off by default — the hot loops only pay an ``if``)
+but invaluable: the integration tests replay a collective with tracing
+on and check, operation by operation, that the schedule matches the
+paper's figures (e.g. Figure 6's step/slice/rank table for the
+movement-avoiding reduce-scatter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One engine operation.
+
+    ``kind`` is one of ``copy``, ``reduce_acc`` (``A += B``),
+    ``reduce_out`` (``C = A + B``), ``sync``, ``barrier``, ``compute``.
+    ``nt`` records whether a copy used a non-temporal store.
+    """
+
+    rank: int
+    kind: str
+    nbytes: int
+    src: str = ""
+    dst: str = ""
+    nt: Optional[bool] = None
+    policy: str = ""
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Trace:
+    """Append-only trace with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+
+    def add(self, rec: OpRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[OpRecord]:
+        return iter(self.records)
+
+    def by_rank(self, rank: int) -> list[OpRecord]:
+        return [r for r in self.records if r.rank == rank]
+
+    def by_kind(self, kind: str) -> list[OpRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def copy_bytes(self, *, nt: Optional[bool] = None) -> int:
+        return sum(
+            r.nbytes
+            for r in self.records
+            if r.kind == "copy" and (nt is None or r.nt == nt)
+        )
+
+    def reduce_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records if r.kind.startswith("reduce"))
+
+    def summary(self) -> dict:
+        kinds: dict[str, int] = {}
+        for r in self.records:
+            kinds[r.kind] = kinds.get(r.kind, 0) + 1
+        return {
+            "ops": len(self.records),
+            "by_kind": kinds,
+            "copy_bytes": self.copy_bytes(),
+            "nt_copy_bytes": self.copy_bytes(nt=True),
+            "reduce_bytes": self.reduce_bytes(),
+        }

@@ -1,0 +1,105 @@
+"""CNN training application tests: model tables, fusion, throughput
+shape (Figure 18) and the functional gradient-averaging check."""
+
+import pytest
+
+from repro.apps.cnn import CNNTrainer, MODELS, resnet50, vgg16
+from repro.library.communicator import Communicator
+
+from tests.conftest import TINY
+
+
+class TestModelSpecs:
+    def test_resnet50_parameter_count(self):
+        # paper: 25.6 M parameters
+        assert resnet50().params == pytest.approx(25.6e6, rel=0.01)
+
+    def test_vgg16_parameter_count(self):
+        # paper: 138.4 M parameters
+        assert vgg16().params == pytest.approx(138.4e6, rel=0.01)
+
+    def test_gradient_bytes_fp32(self):
+        m = resnet50()
+        assert m.gradient_bytes == 4 * m.params
+
+    def test_registry(self):
+        assert set(MODELS) == {"resnet50", "vgg16"}
+        assert MODELS["resnet50"]().name == "ResNet-50"
+
+
+class TestFusion:
+    def test_buckets_respect_cap(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        m = vgg16()
+        tr = CNNTrainer(comm, m, fusion_bytes=64 << 20)
+        buckets = tr._fused_buckets()
+        # a single tensor may exceed the cap (Horovod never splits);
+        # everything else must fit
+        max_tensor = max(4 * l.params // l.tensors for l in m.layers)
+        assert all(b <= max(64 << 20, max_tensor) for b in buckets)
+        total = sum(4 * l.params // l.tensors * l.tensors for l in m.layers)
+        assert sum(buckets) == total
+
+    def test_small_fusion_many_buckets(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        few = len(CNNTrainer(comm, resnet50(),
+                             fusion_bytes=256 << 20)._fused_buckets())
+        many = len(CNNTrainer(comm, resnet50(),
+                              fusion_bytes=8 << 20)._fused_buckets())
+        assert many > few
+
+
+class TestThroughputShape:
+    def _imgs(self, model, impl, nnodes):
+        comm = Communicator(8, machine=TINY, functional=False)
+        tr = CNNTrainer(comm, model, implementation=impl, nnodes=nnodes,
+                        batch_per_rank=1)
+        return tr.iteration().images_per_second
+
+    @pytest.mark.parametrize("model_fn", [resnet50, vgg16])
+    def test_yhccl_beats_openmpi(self, model_fn):
+        m = model_fn()
+        assert self._imgs(m, "YHCCL", 4) > self._imgs(m, "Open MPI", 4)
+
+    def test_near_linear_scaling(self):
+        m = resnet50()
+        t1 = self._imgs(m, "YHCCL", 1)
+        t16 = self._imgs(m, "YHCCL", 16)
+        assert 8 < t16 / t1 <= 16.5
+
+    def test_speedup_in_paper_band(self):
+        """Figure 18 gap: ~1.5x–2.3x across scales."""
+        m = resnet50()
+        for nn in (1, 16):
+            speedup = self._imgs(m, "YHCCL", nn) / self._imgs(m, "Open MPI", nn)
+            assert 1.3 < speedup < 2.6
+
+    def test_rejects_bad_batch(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        with pytest.raises(ValueError):
+            CNNTrainer(comm, resnet50(), batch_per_rank=0)
+
+
+class TestFunctionalGradients:
+    def test_gradient_averaging_exact(self):
+        assert CNNTrainer.verify_gradient_averaging(nranks=4, params=500)
+
+    def test_gradient_averaging_more_ranks(self):
+        assert CNNTrainer.verify_gradient_averaging(nranks=7, params=123)
+
+
+class TestFusionOrdering:
+    def test_buckets_built_back_to_front(self):
+        """Gradients become ready in reverse layer order; the last
+        layer's tensors must land in the first bucket."""
+        from repro.apps.cnn import ModelSpec, Layer
+
+        comm = Communicator(4, machine=TINY, functional=False)
+        m = ModelSpec(name="toy", layers=(
+            Layer("first", 1024, 1e6, tensors=1),
+            Layer("last", 2048, 1e6, tensors=1),
+        ))
+        tr = CNNTrainer(comm, m, fusion_bytes=4 * 2048)
+        buckets = tr._fused_buckets()
+        # 8KB (last) + 4KB (first) fit one 8KB cap? no: 8KB+4KB > 8KB
+        assert buckets == [4 * 2048, 4 * 1024]

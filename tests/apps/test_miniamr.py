@@ -1,0 +1,95 @@
+"""MiniAMR application tests: real stencil/refinement logic plus the
+Figure 17 performance shape."""
+
+import numpy as np
+import pytest
+
+from repro.apps.miniamr import MiniAMR, MiniAMRConfig, _Block
+from repro.library.communicator import Communicator
+
+from tests.conftest import TINY
+
+
+def small_cfg(**kw):
+    base = dict(block_size=8, blocks_per_rank=4, num_refine=400,
+                num_tsteps=4, simulated_refines=20)
+    base.update(kw)
+    return MiniAMRConfig(**base)
+
+
+class TestBlock:
+    def test_stencil_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        b = _Block(8, 0, (0.5, 0.5, 0.5), rng)
+        before = b.cells.mean()
+        b.stencil_sweep()
+        assert b.cells.mean() == pytest.approx(before, rel=1e-12)
+
+    def test_stencil_smooths(self):
+        rng = np.random.default_rng(0)
+        b = _Block(8, 0, (0.5, 0.5, 0.5), rng)
+        var_before = b.cells.var()
+        for _ in range(5):
+            b.stencil_sweep()
+        assert b.cells.var() < var_before
+
+    def test_checksum_finite(self):
+        rng = np.random.default_rng(0)
+        b = _Block(8, 0, (0, 0, 0), rng)
+        assert np.isfinite(b.checksum())
+
+
+class TestRefinement:
+    def test_refinement_happens(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        app = MiniAMR(comm, small_cfg())
+        res = app.run()
+        assert res.refined_blocks > 0
+
+    def test_deterministic(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        r1 = MiniAMR(comm, small_cfg(), seed=3).run()
+        r2 = MiniAMR(comm, small_cfg(), seed=3).run()
+        assert r1.checksum == r2.checksum
+        assert r1.total_time == r2.total_time
+
+    def test_block_population_bounded(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        cfg = small_cfg(simulated_refines=100)
+        app = MiniAMR(comm, cfg)
+        app.run()
+        assert len(app.blocks) <= 4 * cfg.blocks_per_rank
+
+    def test_allreduce_bytes_proportional_to_refines(self):
+        assert MiniAMRConfig(num_refine=1000).allreduce_bytes() == 8000
+        assert MiniAMRConfig(num_refine=40000).allreduce_bytes() == 320000
+
+    def test_allreduce_bytes_weak_scale_with_nodes(self):
+        cfg = MiniAMRConfig(num_refine=1000)
+        assert cfg.allreduce_bytes(nnodes=8) == 8 * cfg.allreduce_bytes()
+
+
+class TestFigure17Shape:
+    def test_yhccl_beats_openmpi(self):
+        # large refine counts -> large-message allreduce, where the
+        # MA + adaptive-copy advantage lives
+        comm = Communicator(8, machine=TINY, functional=False)
+        cfg = small_cfg(num_refine=40000)
+        y = MiniAMR(comm, cfg, implementation="YHCCL").run()
+        o = MiniAMR(comm, cfg, implementation="Open MPI").run()
+        assert y.total_time < o.total_time
+        # compute part identical; the win is in communication
+        assert y.compute_time == pytest.approx(o.compute_time, rel=0.05)
+        assert y.comm_time < o.comm_time
+
+    def test_total_grows_with_nodes(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        cfg = small_cfg(num_refine=40000)
+        t1 = MiniAMR(comm, cfg, implementation="YHCCL", nnodes=1).run()
+        t8 = MiniAMR(comm, cfg, implementation="YHCCL", nnodes=8).run()
+        assert t8.total_time > t1.total_time
+
+    def test_comm_fraction_reported(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        res = MiniAMR(comm, small_cfg()).run()
+        assert 0.0 <= res.comm_fraction <= 1.0

@@ -1,0 +1,24 @@
+"""DPML simulation-granularity cap behaviour."""
+
+from repro.collectives.dpml import MAX_BLOCKS, REDUCE_BLOCK, _blocks
+
+
+class TestBlockCap:
+    def test_small_partitions_use_paper_block(self):
+        blocks = _blocks(0, 4 * REDUCE_BLOCK)
+        assert len(blocks) == 4
+        assert all(n == REDUCE_BLOCK for _, n in blocks)
+
+    def test_large_partitions_capped(self):
+        blocks = _blocks(0, 1 << 26)  # 64 MB partition
+        assert len(blocks) <= MAX_BLOCKS
+        assert sum(n for _, n in blocks) == 1 << 26
+
+    def test_empty(self):
+        assert _blocks(0, 0) == []
+
+    def test_offsets_contiguous(self):
+        blocks = _blocks(128, 100000)
+        assert blocks[0][0] == 128
+        for (o1, n1), (o2, _) in zip(blocks, blocks[1:]):
+            assert o1 + n1 == o2

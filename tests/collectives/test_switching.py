@@ -1,0 +1,59 @@
+"""YHCCL algorithm-switching tests (Section 5.1)."""
+
+import pytest
+
+from repro.collectives.switching import (
+    SMALL_THRESHOLD,
+    Selection,
+    YHCCLConfig,
+    select,
+)
+
+KB = 1024
+
+
+class TestSelection:
+    def test_small_allreduce_uses_two_level_dpml(self):
+        sel = select("allreduce", 64 * KB)
+        assert sel.algorithm.name == "dpml2-allreduce"
+
+    def test_threshold_boundary(self):
+        at = select("allreduce", SMALL_THRESHOLD)
+        above = select("allreduce", SMALL_THRESHOLD + 8)
+        assert at.algorithm.name == "dpml2-allreduce"
+        assert above.algorithm.name == "socket-ma-allreduce"
+
+    @pytest.mark.parametrize("kind,expect", [
+        ("allreduce", "socket-ma-allreduce"),
+        ("reduce", "socket-ma-reduce"),
+        ("reduce_scatter", "socket-ma-reduce-scatter"),
+    ])
+    def test_large_uses_socket_aware_ma(self, kind, expect):
+        sel = select(kind, 16 << 20)
+        assert sel.algorithm.name == expect
+
+    def test_socket_aware_disabled_falls_to_plain_ma(self):
+        cfg = YHCCLConfig(socket_aware=False)
+        sel = select("allreduce", 16 << 20, cfg)
+        assert sel.algorithm.name == "ma-allreduce"
+
+    @pytest.mark.parametrize("kind", ["bcast", "allgather"])
+    def test_pipelined_kinds(self, kind):
+        sel = select(kind, 1 << 20)
+        assert sel.algorithm.name.startswith("pipelined")
+
+    def test_adaptive_policy_default(self):
+        assert select("allreduce", 1 << 20).copy_policy == "adaptive"
+
+    def test_policy_follows_config(self):
+        cfg = YHCCLConfig(adaptive_copy=False)
+        assert select("allreduce", 1 << 20, cfg).copy_policy == "t"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            select("alltoall", 1024)
+
+    def test_selection_carries_reason(self):
+        sel = select("allreduce", 1024)
+        assert isinstance(sel, Selection)
+        assert "small" in sel.reason

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.spec import CacheSpec, MachineSpec, SocketSpec, GB_S, KB, MB, US
+from repro.sim.engine import Engine
+
+#: A small 2-socket machine for fast timing tests: 4 cores/socket,
+#: 1 MB L3 + 64 KB L2 per core, modest bandwidths.
+TINY = MachineSpec(
+    name="Tiny",
+    sockets=2,
+    socket=SocketSpec(
+        cores=4,
+        l2_per_core=CacheSpec(size=64 * KB, inclusive=True),
+        l3=CacheSpec(size=1 * MB, inclusive=False),
+        mem_bandwidth=10.0 * GB_S,
+    ),
+    cache_bandwidth_core=20.0 * GB_S,
+    numa_bandwidth=6.0 * GB_S,
+    sync_latency_intra=0.2 * US,
+    sync_latency_inter=0.5 * US,
+    memmove_nt_threshold=256 * KB,
+)
+
+
+@pytest.fixture
+def tiny_machine() -> MachineSpec:
+    return TINY
+
+
+@pytest.fixture
+def engine4() -> Engine:
+    """4 functional ranks, no machine model."""
+    return Engine(4, functional=True)
+
+
+@pytest.fixture
+def engine8_timed() -> Engine:
+    """8 ranks on the tiny machine, functional + timed."""
+    return Engine(8, machine=TINY, functional=True)
+
+
+def make_engine(nranks: int, *, machine=None, functional=True, **kw) -> Engine:
+    return Engine(nranks, machine=machine, functional=functional, **kw)

@@ -1,0 +1,78 @@
+"""Adaptive-copy (Algorithm 1) tests, incl. the paper's capacity model."""
+
+import pytest
+
+from repro.copyengine.adaptive import AdaptiveCopy, adaptive_copy
+from repro.machine.spec import NODE_A, NODE_B, available_cache_capacity, KB, MB
+from repro.sim.engine import Engine
+
+from tests.conftest import TINY
+
+
+class TestAdaptiveCopyDecision:
+    def test_nt_requires_flag_and_overflow(self):
+        ac = AdaptiveCopy(machine=TINY, nranks=8, work_set=1 << 30)
+        assert ac.would_use_nt(True) is True
+        assert ac.would_use_nt(False) is False
+
+    def test_small_work_set_stays_temporal(self):
+        ac = AdaptiveCopy(machine=TINY, nranks=8, work_set=1024)
+        assert ac.would_use_nt(True) is False
+
+    def test_capacity_from_paper_model(self):
+        ac = AdaptiveCopy(machine=NODE_A, nranks=64, work_set=0)
+        assert ac.cache_capacity == available_cache_capacity(NODE_A, 64)
+
+    def test_rejects_negative_work_set(self):
+        with pytest.raises(ValueError):
+            AdaptiveCopy(machine=TINY, nranks=8, work_set=-1)
+
+    def test_counters(self):
+        eng = Engine(1, machine=TINY, functional=False)
+        src = eng.alloc(0, 1024)
+        dst = eng.alloc(0, 1024)
+        ac = AdaptiveCopy(machine=TINY, nranks=1, work_set=1 << 30)
+
+        def program(ctx):
+            ac(ctx, dst.view(0, 512), src.view(0, 512), t_flag=True)
+            ac(ctx, dst.view(512, 512), src.view(512, 512), t_flag=False)
+
+        eng.run(program)
+        assert ac.nt_copies == 1 and ac.t_copies == 1
+
+
+class TestOneShotForm:
+    def test_matches_algorithm_1(self):
+        eng = Engine(1, machine=TINY, functional=False, trace=True)
+        src = eng.alloc(0, 64)
+        dst = eng.alloc(0, 64)
+
+        def program(ctx):
+            adaptive_copy(ctx, dst.view(), src.view(), t_flag=True,
+                          work_set=100, cache_capacity=1)
+
+        eng.run(program)
+        assert eng.trace.records[0].nt is True
+
+
+class TestPaperSwitchPoints:
+    """Section 5.4's derived switch sizes for socket-aware MA allreduce:
+    2176 KB on NodeA (p=64, Imax=256 KB), 1152 KB on NodeB (p=48,
+    Imax=128 KB)."""
+
+    @pytest.mark.parametrize("machine,p,imax,expect_kb", [
+        (NODE_A, 64, 256 * KB, 2176),
+        (NODE_B, 48, 128 * KB, 1152),
+    ])
+    def test_switch_size(self, machine, p, imax, expect_kb):
+        from repro.models.nt_model import nt_switch_message_size, work_set_size
+
+        s_switch = nt_switch_message_size("allreduce", machine, p, imax=imax)
+        assert s_switch == expect_kb * KB
+
+        # Algorithm 1 agrees: just below stays temporal, above goes NT
+        for s, want in ((expect_kb * KB - 8 * KB, False),
+                        (expect_kb * KB + 8 * KB, True)):
+            w = work_set_size("allreduce", s, p, imax=imax)
+            ac = AdaptiveCopy(machine=machine, nranks=p, work_set=w)
+            assert ac.would_use_nt(True) is want

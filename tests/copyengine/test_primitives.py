@@ -1,0 +1,141 @@
+"""Copy-primitive tests: policy resolution and primitive behaviour."""
+
+import pytest
+
+from repro.copyengine.primitives import (
+    CopyPolicy,
+    copy_with_policy,
+    kernel_copy,
+    memmove,
+    nt_copy,
+    resolve_nt,
+    t_copy,
+)
+from repro.sim.engine import Engine
+
+from tests.conftest import TINY
+
+KB = 1024
+
+
+class TestResolveNT:
+    def test_t_never(self):
+        assert resolve_nt("t", 1 << 30, 0) is False
+
+    def test_nt_always(self):
+        assert resolve_nt("nt", 8, 1 << 30) is True
+
+    def test_memmove_threshold(self):
+        assert resolve_nt("memmove", 2 << 20, 2 << 20) is True
+        assert resolve_nt("memmove", (2 << 20) - 1, 2 << 20) is False
+
+    def test_adaptive_needs_both_conditions(self):
+        # Algorithm 1: NT iff t_flag and W > C
+        assert resolve_nt("adaptive", 8, 0, t_flag=True, work_set=100,
+                          cache_capacity=10) is True
+        assert resolve_nt("adaptive", 8, 0, t_flag=True, work_set=10,
+                          cache_capacity=100) is False
+        assert resolve_nt("adaptive", 8, 0, t_flag=False, work_set=100,
+                          cache_capacity=10) is False
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            resolve_nt("bogus", 8, 0)
+
+
+class TestCopyPolicy:
+    def test_uses_nt_delegates(self):
+        p = CopyPolicy(kind="adaptive", t_flag=True, work_set=100,
+                       cache_capacity=1)
+        assert p.uses_nt(8, 0) is True
+
+
+def _run_one(primitive, **kw):
+    eng = Engine(1, machine=TINY, functional=True, trace=True)
+    src = eng.alloc(0, 64 * KB, fill=1.0)
+    dst = eng.alloc(0, 64 * KB, fill=0.0)
+
+    def program(ctx):
+        primitive(ctx, dst.view(), src.view(), **kw)
+
+    eng.run(program)
+    assert dst.array()[0] == 1.0  # data moved
+    return eng.trace.records[0]
+
+
+class TestPrimitives:
+    def test_t_copy_is_temporal(self):
+        assert _run_one(t_copy).nt is False
+
+    def test_nt_copy_is_nontemporal(self):
+        assert _run_one(nt_copy).nt is True
+
+    def test_memmove_small_is_temporal(self):
+        # 64 KB < TINY's 256 KB threshold
+        assert _run_one(memmove).nt is False
+
+    def test_memmove_large_is_nt(self):
+        eng = Engine(1, machine=TINY, functional=False, trace=True)
+        src = eng.alloc(0, 512 * KB)
+        dst = eng.alloc(0, 512 * KB)
+
+        def program(ctx):
+            memmove(ctx, dst.view(), src.view())
+
+        eng.run(program)
+        assert eng.trace.records[0].nt is True
+
+    def test_kernel_copy_never_nt(self):
+        rec = _run_one(kernel_copy)
+        assert rec.nt is False
+        assert rec.policy == "kernel"
+
+    def test_kernel_copy_charges_page_overhead(self):
+        eng = Engine(1, machine=TINY, functional=False)
+        src = eng.alloc(0, 64 * KB)
+        d1 = eng.alloc(0, 64 * KB)
+        d2 = eng.alloc(0, 64 * KB)
+
+        def plain(ctx):
+            t_copy(ctx, d1.view(), src.view())
+
+        t_plain = eng.run(plain).times[0]
+
+        def kern(ctx):
+            kernel_copy(ctx, d2.view(), src.view())
+
+        eng.memsys.reset_caches()
+        t_kern = eng.run(kern).times[0]
+        pages = 64 * KB // TINY.kernel_page_size
+        min_extra = TINY.kernel_syscall_overhead + pages * TINY.kernel_page_overhead
+        assert t_kern >= t_plain + min_extra * 0.9
+
+    def test_kernel_copy_contention_scales(self):
+        eng = Engine(1, machine=TINY, functional=False)
+        src = eng.alloc(0, 64 * KB)
+        d1 = eng.alloc(0, 64 * KB)
+        d2 = eng.alloc(0, 64 * KB)
+
+        t1 = eng.run(lambda ctx: kernel_copy(ctx, d1.view(), src.view(),
+                                             contention=1)).times[0]
+        eng.memsys.reset_caches()
+        t8 = eng.run(lambda ctx: kernel_copy(ctx, d2.view(), src.view(),
+                                             contention=8)).times[0]
+        assert t8 > t1
+
+    def test_kernel_copy_rejects_bad_contention(self):
+        eng = Engine(1, machine=TINY, functional=False)
+        src = eng.alloc(0, 64)
+        dst = eng.alloc(0, 64)
+
+        def program(ctx):
+            kernel_copy(ctx, dst.view(), src.view(), contention=0)
+
+        with pytest.raises(ValueError):
+            eng.run(program)
+
+    def test_copy_with_policy_dispatch(self):
+        rec = _run_one(copy_with_policy, policy=CopyPolicy(kind="nt"))
+        assert rec.nt is True
+        rec = _run_one(copy_with_policy, policy=CopyPolicy(kind="kernel"))
+        assert rec.policy == "kernel"

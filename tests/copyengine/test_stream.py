@@ -1,0 +1,78 @@
+"""Sliced STREAM benchmark tests (the Table 4 / Figure 3 engine)."""
+
+import pytest
+
+from repro.copyengine.stream import SlicedCopyBenchmark
+from repro.machine.spec import NODE_A, KB, MB, GB
+
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_bench():
+    return SlicedCopyBenchmark(TINY, nranks=8, total_bytes=64 * MB)
+
+
+class TestSlicedCopy:
+    def test_nt_beats_t_on_streaming(self, tiny_bench):
+        t = tiny_bench.run_policy("t", 64 * KB)
+        nt = tiny_bench.run_policy("nt", 64 * KB)
+        assert nt.bandwidth > t.bandwidth
+        # traffic ratio ~3:2
+        assert t.traffic_bytes / nt.traffic_bytes == pytest.approx(1.5, rel=0.1)
+
+    def test_t_copy_insensitive_to_slice_size(self, tiny_bench):
+        b1 = tiny_bench.run_policy("t", 64 * KB).bandwidth
+        b2 = tiny_bench.run_policy("t", 1 * MB).bandwidth
+        assert b1 == pytest.approx(b2, rel=0.05)
+
+    def test_memmove_switches_at_threshold(self, tiny_bench):
+        # TINY threshold: 256 KB
+        below = tiny_bench.run_policy("memmove", 128 * KB)
+        above = tiny_bench.run_policy("memmove", 256 * KB)
+        assert above.bandwidth > below.bandwidth * 1.2
+
+    def test_table4_grid_shape(self, tiny_bench):
+        grid = tiny_bench.table4([128 * KB, 256 * KB], policies=("t", "nt"))
+        assert set(grid) == {"t", "nt"}
+        assert all(len(v) == 2 for v in grid.values())
+
+    def test_rejects_bad_slice(self, tiny_bench):
+        with pytest.raises(ValueError):
+            tiny_bench.run_policy("t", 0)
+
+    def test_rejects_undivisible_total(self):
+        with pytest.raises(ValueError):
+            SlicedCopyBenchmark(TINY, nranks=7, total_bytes=64 * MB)
+
+
+class TestCopyOutOverhead:
+    """Figure 3's shape: flat high overhead below the memmove threshold,
+    a cliff at the threshold, flat lower after."""
+
+    def test_cliff_at_threshold(self):
+        bench = SlicedCopyBenchmark(TINY, nranks=8, total_bytes=64 * MB)
+        shared = 8 * MB
+        below = bench.copy_out_overhead(shared, 128 * KB)
+        at = bench.copy_out_overhead(shared, 256 * KB)
+        above = bench.copy_out_overhead(shared, 512 * KB)
+        assert below.time > at.time * 1.3
+        assert at.time == pytest.approx(above.time, rel=0.1)
+
+    def test_custom_threshold_moves_cliff(self):
+        bench = SlicedCopyBenchmark(TINY, nranks=8, total_bytes=64 * MB)
+        shared = 8 * MB
+        # with a 1 MB threshold, 512 KB slices are still temporal
+        r = bench.copy_out_overhead(shared, 512 * KB, nt_threshold=1 * MB)
+        r2 = bench.copy_out_overhead(shared, 512 * KB)
+        assert r.time > r2.time
+
+
+@pytest.mark.slow
+class TestNodeAScale:
+    def test_node_a_table4_ratio(self):
+        """NodeA shape: nt-copy ~1.5x t-copy, as in Table 4."""
+        bench = SlicedCopyBenchmark(NODE_A, nranks=64, total_bytes=1 * GB)
+        t = bench.run_policy("t", 512 * KB)
+        nt = bench.run_policy("nt", 512 * KB)
+        assert nt.bandwidth / t.bandwidth == pytest.approx(1.5, rel=0.15)

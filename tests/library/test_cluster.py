@@ -1,0 +1,82 @@
+"""Composed cluster simulation tests: skew propagation, absorption and
+consistency with the analytic multi-node model."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.multinode import MultiNodeAllreduce
+from repro.library.cluster import ClusterAllreduce
+
+from tests.conftest import TINY
+
+KB = 1024
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterAllreduce(TINY, nnodes=4, ranks_per_node=8)
+
+
+class TestBasics:
+    def test_single_node(self):
+        c = ClusterAllreduce(TINY, nnodes=1, ranks_per_node=8)
+        res = c.run(1 * MB)
+        assert res.time > 0
+        assert len(res.nodes) == 1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ClusterAllreduce(TINY, nnodes=0, ranks_per_node=8)
+
+    def test_rejects_bad_skews(self, cluster):
+        with pytest.raises(ValueError, match="skews"):
+            cluster.run(1 * MB, skews=[0.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            cluster.run(1 * MB, skews=[0, 0, 0, -1e-3])
+
+    def test_result_fields(self, cluster):
+        res = cluster.run(1 * MB)
+        for n in res.nodes:
+            assert n.rs_done <= n.exchange_done <= n.finish
+        assert res.time == max(n.finish for n in res.nodes)
+
+
+class TestSkew:
+    def test_straggler_delays_everyone(self, cluster):
+        base = cluster.run(1 * MB)
+        skewed = cluster.run(1 * MB, skews=[5e-3, 0, 0, 0])
+        assert skewed.time > base.time
+        # ring gating: the whole exchange waits for the straggler
+        assert skewed.time == pytest.approx(base.time + 5e-3, rel=1e-6)
+
+    def test_ring_resynchronizes(self, cluster):
+        """All nodes leave the exchange together: skew fully absorbed
+        into a common delay (spread -> 0)."""
+        res = cluster.run(1 * MB, skews=[5e-3, 1e-3, 0, 2e-3])
+        finishes = [n.finish for n in res.nodes]
+        assert max(finishes) == pytest.approx(min(finishes))
+        assert res.skew_absorbed() == pytest.approx(1.0)
+
+    def test_no_skew_absorption_is_one(self, cluster):
+        assert cluster.run(1 * MB).skew_absorbed() == 1.0
+
+    def test_straggler_penalty_linear(self, cluster):
+        p1 = cluster.straggler_penalty(1 * MB, 1e-3)
+        p5 = cluster.straggler_penalty(1 * MB, 5e-3)
+        assert p1 == pytest.approx(1e-3, rel=1e-6)
+        assert p5 == pytest.approx(5e-3, rel=1e-6)
+
+
+class TestConsistencyWithAnalyticModel:
+    def test_matches_serial_multinode_within_factor(self):
+        """No skew: the composed run lands near the analytic serial
+        composition (same phases, same network)."""
+        nbytes = 4 * MB
+        cluster = ClusterAllreduce(TINY, nnodes=4, ranks_per_node=8)
+        composed = cluster.run(nbytes).time
+        comm = Communicator(8, machine=TINY, functional=False)
+        analytic = MultiNodeAllreduce(
+            comm, 4, implementation="YHCCL", pipelined=False
+        ).allreduce(nbytes).time
+        assert composed == pytest.approx(analytic, rel=0.35)

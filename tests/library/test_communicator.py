@@ -1,0 +1,47 @@
+"""Communicator tests."""
+
+import numpy as np
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.machine.spec import NODE_A
+
+from tests.conftest import TINY
+
+
+class TestCommunicator:
+    def test_default_functional_without_machine(self):
+        comm = Communicator(4)
+        assert comm.functional and comm.machine is None
+
+    def test_default_timing_with_machine(self):
+        comm = Communicator(8, machine=TINY)
+        assert not comm.functional
+
+    def test_explicit_functional_with_machine(self):
+        comm = Communicator(8, machine=TINY, functional=True)
+        assert comm.functional and comm.machine is TINY
+
+    def test_socket_of(self):
+        comm = Communicator(8, machine=TINY)
+        assert comm.socket_of(0) == 0 and comm.socket_of(7) == 1
+
+    def test_socket_of_without_machine(self):
+        assert Communicator(4).socket_of(3) == 0
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            Communicator(9, machine=TINY)
+
+    def test_reset_caches(self):
+        comm = Communicator(8, machine=TINY)
+        buf = comm.engine.alloc(0, 1024)
+        comm.engine.memsys.load(0, buf, 0, 1024)
+        assert comm.engine.memsys.caches[0].used_bytes > 0
+        comm.reset_caches()
+        assert comm.engine.memsys.caches[0].used_bytes == 0
+
+    def test_dtype_flows_to_buffers(self):
+        comm = Communicator(2, dtype=np.float32)
+        buf = comm.engine.alloc(0, 64, fill=1.0)
+        assert buf.array().dtype == np.float32

@@ -1,0 +1,57 @@
+"""Vendor MPI facade tests."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.mpi import ALGORITHMS, MPILibrary, implementations
+
+from tests.conftest import TINY
+
+KB = 1024
+
+
+class TestRegistry:
+    def test_vendor_list(self):
+        vendors = implementations()
+        assert {"Open MPI", "Intel MPI", "MVAPICH2", "MPICH", "XPMEM"} <= set(
+            vendors
+        )
+
+    def test_algorithm_registry_names(self):
+        assert "ma" in ALGORITHMS and "socket-ma" in ALGORITHMS
+        assert "allreduce" in ALGORITHMS["ma"]
+
+
+class TestMPILibrary:
+    @pytest.mark.parametrize("vendor", ["Open MPI", "Intel MPI", "MVAPICH2",
+                                        "MPICH", "XPMEM"])
+    def test_all_collectives_run(self, vendor):
+        comm = Communicator(8, machine=TINY, functional=False)
+        lib = MPILibrary(comm, vendor)
+        for call in (lib.allreduce, lib.reduce, lib.reduce_scatter,
+                     lib.bcast, lib.allgather):
+            r = call(64 * KB)
+            assert r.time > 0
+
+    def test_unknown_vendor_rejected(self):
+        comm = Communicator(4, machine=TINY, functional=False)
+        with pytest.raises(ValueError, match="unknown vendor"):
+            MPILibrary(comm, "LAM/MPI")
+
+    def test_functional_verification(self):
+        comm = Communicator(6, machine=TINY, functional=True)
+        for vendor in implementations():
+            lib = MPILibrary(comm, vendor)
+            lib.allreduce(8 * KB)
+
+    def test_yhccl_beats_vendors_on_large_allreduce(self):
+        """Figure 15c's headline: YHCCL wins on large messages."""
+        from repro.library.yhccl import YHCCL
+
+        s = 4 << 20
+        comm = Communicator(8, machine=TINY, functional=False)
+        t_yhccl = YHCCL(comm).allreduce(s).time
+        for vendor in ("Open MPI", "MPICH", "MVAPICH2"):
+            comm2 = Communicator(8, machine=TINY, functional=False)
+            t_vendor = MPILibrary(comm2, vendor).allreduce(s).time
+            assert t_yhccl < t_vendor, vendor

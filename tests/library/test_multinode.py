@@ -1,0 +1,99 @@
+"""Multi-node hierarchical allreduce tests (Figure 16b mechanisms)."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.multinode import MultiNodeAllreduce
+
+from tests.conftest import TINY
+
+KB = 1024
+MB = 1024 * KB
+
+
+def mk(implementation, nnodes):
+    comm = Communicator(8, machine=TINY, functional=False)
+    return MultiNodeAllreduce(comm, nnodes, implementation=implementation)
+
+
+class TestMultiNode:
+    def test_single_node_no_network(self):
+        res = mk("YHCCL", 1).allreduce(1 * MB)
+        assert res.inter_time == 0.0
+        assert res.time == res.intra_time
+
+    def test_rejects_zero_nodes(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        with pytest.raises(ValueError):
+            MultiNodeAllreduce(comm, 0)
+
+    def test_breakdown_sums(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        res = MultiNodeAllreduce(comm, 8, implementation="YHCCL",
+                                 pipelined=False).allreduce(4 * MB)
+        assert res.time == pytest.approx(res.intra_time + res.inter_time)
+        # the default (pipelined) never exceeds the serial sum
+        piped = mk("YHCCL", 8).allreduce(4 * MB)
+        assert piped.time <= res.intra_time + res.inter_time
+
+    def test_multilane_beats_single_leader_large(self):
+        """YHCCL's multi-lane network phase (Section 5.5)."""
+        s = 64 * MB
+        y = mk("YHCCL", 16).allreduce(s)
+        o = mk("Open MPI", 16).allreduce(s)
+        assert y.inter_time < o.inter_time
+        assert y.time < o.time
+
+    def test_trees_win_small_messages(self):
+        """Vendor tree exchanges have lower latency on small messages
+        across many nodes — the paper's stated weakness of YHCCL's
+        ring-based strategy."""
+        s = 16 * KB
+        y = mk("YHCCL", 64).allreduce(s)
+        h = mk("OMPI-hcoll", 64).allreduce(s)
+        assert h.inter_time < y.inter_time
+
+    def test_hcoll_picks_best_network_phase(self):
+        small = mk("OMPI-hcoll", 16).allreduce(16 * KB)
+        big = mk("OMPI-hcoll", 16).allreduce(64 * MB)
+        # consistent: never worse than both pure strategies
+        from repro.machine.network import Network
+
+        net = Network()
+        assert small.inter_time <= net.ring_allreduce_time(16 * KB, 16)
+        assert big.inter_time <= net.tree_allreduce_time(64 * MB, 16)
+
+    @pytest.mark.parametrize("impl", ["YHCCL", "Open MPI", "MVAPICH2",
+                                      "MPICH", "OMPI-hcoll"])
+    def test_all_implementations_run(self, impl):
+        assert mk(impl, 4).allreduce(1 * MB).time > 0
+
+
+class TestPipelinedOverlap:
+    """Section 5.5's segmented pipeline: inter-node exchange overlaps
+    intra-node phases."""
+
+    def test_pipelined_faster_than_serial(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        serial = MultiNodeAllreduce(comm, 8, implementation="YHCCL",
+                                    pipelined=False).allreduce(8 * MB)
+        comm2 = Communicator(8, machine=TINY, functional=False)
+        piped = MultiNodeAllreduce(comm2, 8, implementation="YHCCL",
+                                   pipelined=True).allreduce(8 * MB)
+        assert piped.time < serial.time
+        assert piped.pipelined and not serial.pipelined
+        assert 0.0 < piped.overlap_saving < 1.0
+
+    def test_single_node_unaffected(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        res = MultiNodeAllreduce(comm, 1, implementation="YHCCL",
+                                 pipelined=True).allreduce(1 * MB)
+        assert not res.pipelined
+        assert res.inter_time == 0.0
+
+    def test_pipeline_bounded_below_by_slowest_stage(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        mn = MultiNodeAllreduce(comm, 16, implementation="YHCCL")
+        res = mn.allreduce(16 * MB)
+        assert res.time >= max(res.inter_time,
+                               res.intra_time / 2) * 0.99

@@ -1,0 +1,117 @@
+"""OSU-style harness and CLI tests."""
+
+import pytest
+
+from repro.library.osu import (
+    COLLECTIVES,
+    OSUBenchmark,
+    OSUResult,
+    compare_priorities,
+)
+from repro.__main__ import main as cli_main
+
+KB = 1024
+
+
+class TestOSUBenchmark:
+    def test_size_sweep_doubles(self):
+        b = OSUBenchmark("allreduce", msg_range=(64 * KB, 512 * KB))
+        assert b.sizes() == [64 * KB, 128 * KB, 256 * KB, 512 * KB]
+
+    def test_rejects_unknown_collective(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            OSUBenchmark("alltoall")
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            OSUBenchmark("allreduce", machine="NodeZ")
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError, match="range"):
+            OSUBenchmark("allreduce", msg_range=(1024, 512))
+
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    def test_runs_every_collective(self, collective):
+        b = OSUBenchmark(collective, nranks=8, machine="ClusterC",
+                         msg_range=(64 * KB, 128 * KB))
+        rows = b.run()
+        assert len(rows) == 2
+        assert all(isinstance(r, OSUResult) for r in rows)
+        assert all(r.avg_latency_us > 0 for r in rows)
+
+    def test_vendor_fallback(self):
+        b = OSUBenchmark("allreduce", nranks=8, machine="ClusterC",
+                         use_yhccl=False, vendor="MPICH",
+                         msg_range=(64 * KB, 64 * KB))
+        assert b.run()[0].avg_latency_us > 0
+
+    def test_validation_mode(self):
+        b = OSUBenchmark("allreduce", nranks=4, machine="ClusterC",
+                         validate=True, msg_range=(8 * KB, 8 * KB))
+        rows = b.run()
+        assert rows[0].validated
+
+    def test_render_format(self):
+        b = OSUBenchmark("bcast", nranks=8, machine="ClusterC",
+                         msg_range=(64 * KB, 128 * KB))
+        text = b.render(b.run())
+        assert "Broadcast" in text
+        assert "65536" in text and "131072" in text
+
+    def test_compare_priorities_output(self):
+        text = compare_priorities("allreduce", nranks=8,
+                                  machine="ClusterC",
+                                  msg_range=(512 * KB, 1024 * KB))
+        assert "speedup" in text
+        assert "YHCCL" in text and "Open MPI" in text
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "NodeA" in out and "socket-ma" in out
+
+    def test_osu_command(self, capsys):
+        rc = cli_main([
+            "osu", "allreduce", "-n", "8", "--machine", "ClusterC",
+            "-m", "65536:131072",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Allreduce" in out and "65536" in out
+
+    def test_osu_no_yhccl(self, capsys):
+        rc = cli_main([
+            "osu", "bcast", "-n", "8", "--machine", "ClusterC",
+            "-m", "65536:65536", "--no-yhccl", "--vendor", "MPICH",
+        ])
+        assert rc == 0
+        assert "MPICH" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        rc = cli_main([
+            "compare", "allreduce", "-n", "8", "--machine", "ClusterC",
+            "-m", "1048576:1048576",
+        ])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bad_collective_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["osu", "alltoall"])
+
+
+class TestSizeSweepProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @given(lo_exp=st.integers(3, 20), span=st.integers(0, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_sizes_double_and_stay_bounded(self, lo_exp, span):
+        lo = 1 << lo_exp
+        hi = lo << span
+        b = OSUBenchmark("allreduce", msg_range=(lo, hi))
+        sizes = b.sizes()
+        assert sizes[0] == lo and sizes[-1] <= hi
+        assert all(b2 == 2 * a for a, b2 in zip(sizes, sizes[1:]))
+        assert len(sizes) == span + 1

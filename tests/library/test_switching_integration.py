@@ -1,0 +1,54 @@
+"""End-to-end switching behaviour through the YHCCL facade across
+machines, sizes and operators — the library-level contract."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.yhccl import YHCCL
+from repro.collectives.switching import YHCCLConfig
+
+from tests.conftest import TINY
+
+KB = 1024
+MB = 1 << 20
+
+
+class TestRoutingMatrix:
+    @pytest.mark.parametrize("size,expect", [
+        (16 * KB, "dpml2-allreduce"),
+        (256 * KB, "dpml2-allreduce"),
+        (257 * KB // 8 * 8 + 8 * KB, "socket-ma-allreduce"),
+        (64 * MB, "socket-ma-allreduce"),
+    ])
+    def test_allreduce_by_size(self, size, expect):
+        lib = YHCCL(Communicator(8, machine=TINY, functional=False))
+        assert lib.allreduce(size).algorithm == expect
+
+    def test_sub_routes_ordered_at_every_size(self):
+        lib = YHCCL(Communicator(4, machine=TINY, functional=True))
+        for size in (8 * KB, 1 * MB):
+            r = lib.allreduce(size, op="sub")
+            assert r.algorithm == "ordered-allreduce"
+
+    def test_policy_recorded(self):
+        lib = YHCCL(Communicator(8, machine=TINY, functional=False))
+        assert lib.allreduce(1 * MB).copy_policy == "adaptive"
+        lib2 = YHCCL(Communicator(8, machine=TINY, functional=False),
+                     config=YHCCLConfig(adaptive_copy=False))
+        assert lib2.allreduce(1 * MB).copy_policy == "t"
+
+    def test_iterations_warm_faster_or_equal(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        cold = YHCCL(comm).allreduce(256 * KB, iterations=1).time
+        comm2 = Communicator(8, machine=TINY, functional=False)
+        warm = YHCCL(comm2).allreduce(256 * KB, iterations=2).time
+        assert warm <= cold
+
+    def test_dav_constant_across_iterations(self):
+        """Warm runs change time, never the per-iteration DAV."""
+        res = []
+        for iters in (1, 2):
+            comm = Communicator(8, machine=TINY, functional=False)
+            res.append(YHCCL(comm).allreduce(64 * KB, iterations=iters))
+        # counters reset per engine.run: both report one iteration's DAV
+        assert res[0].dav == res[1].dav

@@ -1,0 +1,87 @@
+"""Auto-tuner tests."""
+
+import pytest
+
+from repro.library.communicator import Communicator
+from repro.library.tuner import (
+    CANDIDATES,
+    DecisionEntry,
+    DecisionTable,
+    Tuner,
+)
+
+from tests.conftest import TINY
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def table():
+    comm = Communicator(8, machine=TINY, functional=False)
+    return Tuner(comm).tune(
+        "allreduce", sizes=[2 * KB, 64 * KB, 512 * KB],
+        imax=8 * KB,
+    )
+
+
+class TestTuner:
+    def test_requires_machine(self):
+        with pytest.raises(ValueError, match="machine"):
+            Tuner(Communicator(4))
+
+    def test_unknown_kind(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        with pytest.raises(ValueError, match="candidates"):
+            Tuner(comm).tune("alltoall")
+
+    def test_table_covers_sizes(self, table):
+        assert [e.size for e in table.entries] == [2 * KB, 64 * KB,
+                                                   512 * KB]
+        assert all(isinstance(e, DecisionEntry) for e in table.entries)
+
+    def test_winners_are_candidates(self, table):
+        for e in table.entries:
+            assert e.algorithm in CANDIDATES["allreduce"]
+            assert e.margin >= 1.0
+
+    def test_large_messages_prefer_ma_family(self, table):
+        assert table.entries[-1].algorithm in ("ma", "socket-ma")
+
+    def test_algorithm_for_lookup(self, table):
+        assert table.algorithm_for(1) == table.entries[0].algorithm
+        assert table.algorithm_for(1 << 30) == table.entries[-1].algorithm
+
+    def test_empty_table_lookup_raises(self):
+        t = DecisionTable(kind="allreduce", machine="x", nranks=2, imax=1)
+        with pytest.raises(ValueError):
+            t.algorithm_for(8)
+
+    def test_to_config(self, table):
+        cfg = table.to_config()
+        assert cfg.imax == 8 * KB
+        assert cfg.small_threshold >= 0
+
+    def test_render(self, table):
+        text = table.render()
+        assert "decision table" in text and "winner" in text
+
+    def test_tune_imax_picks_candidate(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        imax = Tuner(comm).tune_imax("allreduce", nbytes=1 << 20,
+                                     candidates=[4 * KB, 32 * KB])
+        assert imax in (4 * KB, 32 * KB)
+
+
+class TestTunerAgreesWithPaper:
+    @pytest.mark.slow
+    def test_node_a_imax_near_256kb(self):
+        """The paper's hand-tuned Imax=256 KB should be measurement's
+        pick (or within a factor of two of it) on NodeA."""
+        from repro.machine.spec import NODE_A, MB
+
+        comm = Communicator(64, machine=NODE_A, functional=False)
+        best = Tuner(comm).tune_imax(
+            "allreduce", nbytes=16 * MB,
+            candidates=[64 * KB, 128 * KB, 256 * KB, 512 * KB],
+        )
+        assert 128 * KB <= best <= 512 * KB

@@ -1,0 +1,227 @@
+"""Cache model tests: RFO/write-back semantics, NT stores, LRU capacity,
+and agreement between the region model and the set-associative model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cache import AccessResult, RegionCache, SetAssociativeCache
+
+KB = 1024
+
+
+class TestAccessResult:
+    def test_addition(self):
+        a = AccessResult(hit=1, miss=2, rfo=3, writeback=4)
+        b = AccessResult(hit=10, miss=20, rfo=30, writeback=40)
+        c = a + b
+        assert (c.hit, c.miss, c.rfo, c.writeback) == (11, 22, 33, 44)
+
+    def test_memory_traffic_views(self):
+        r = AccessResult(miss=100, rfo=50, writeback=25)
+        assert r.memory_read_bytes == 150
+        assert r.memory_write_bytes == 25
+
+
+class TestRegionCacheBasics:
+    def test_cold_load_misses_then_hits(self):
+        c = RegionCache(64 * KB)
+        r1 = c.load(1, 0, KB)
+        assert r1.miss == KB and r1.hit == 0
+        r2 = c.load(1, 0, KB)
+        assert r2.hit == KB and r2.miss == 0
+
+    def test_store_miss_pays_rfo(self):
+        c = RegionCache(64 * KB)
+        r = c.store(1, 0, KB)
+        assert r.rfo == KB and r.miss == KB
+
+    def test_store_hit_no_rfo(self):
+        c = RegionCache(64 * KB)
+        c.load(1, 0, KB)
+        r = c.store(1, 0, KB)
+        assert r.hit == KB and r.rfo == 0
+
+    def test_nt_store_never_allocates(self):
+        c = RegionCache(64 * KB)
+        r = c.store_nt(1, 0, KB)
+        assert r.rfo == 0 and r.miss == KB
+        assert c.used_bytes == 0
+
+    def test_nt_store_invalidates_without_writeback(self):
+        c = RegionCache(64 * KB)
+        c.store(1, 0, KB)  # dirty resident
+        r = c.store_nt(1, 0, KB)
+        assert r.writeback == 0
+        # the region is gone: next load misses
+        assert c.load(1, 0, KB).miss == KB
+
+    def test_dirty_eviction_writes_back(self):
+        c = RegionCache(2 * KB)
+        c.store(1, 0, KB)  # dirty
+        c.store(1, KB, KB)  # dirty, cache now full
+        r = c.load(2, 0, KB)  # evicts LRU dirty region
+        assert r.writeback == KB
+
+    def test_clean_eviction_no_writeback(self):
+        c = RegionCache(2 * KB)
+        c.load(1, 0, KB)
+        c.load(1, KB, KB)
+        r = c.load(2, 0, KB)
+        assert r.writeback == 0
+
+    def test_lru_order(self):
+        c = RegionCache(2 * KB)
+        c.load(1, 0, KB)
+        c.load(1, KB, KB)
+        c.load(1, 0, KB)  # refresh region 0
+        c.load(2, 0, KB)  # should evict region at offset KB
+        assert c.load(1, 0, KB).hit == KB
+
+    def test_oversized_region_streams_through(self):
+        c = RegionCache(KB)
+        r = c.load(1, 0, 4 * KB)
+        assert r.miss == 4 * KB
+        assert c.used_bytes == 0
+
+    def test_oversized_store_full_traffic(self):
+        c = RegionCache(KB)
+        r = c.store(1, 0, 4 * KB)
+        # write-allocate streaming: RFO in, dirty back out
+        assert r.rfo == 4 * KB and r.writeback == 4 * KB
+
+    def test_zero_length_access_free(self):
+        c = RegionCache(KB)
+        r = c.load(1, 0, 0)
+        assert r.hit == r.miss == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RegionCache(0)
+
+
+class TestRegionCacheOverlap:
+    def test_partial_overlap_evicts_resident(self):
+        c = RegionCache(64 * KB)
+        c.store(1, 0, 2 * KB)  # dirty [0, 2K)
+        r = c.load(1, KB, 2 * KB)  # overlapping [1K, 3K)
+        assert r.writeback == 2 * KB  # the dirty overlap drained
+        assert r.miss == 2 * KB
+
+    def test_exact_match_not_evicted(self):
+        c = RegionCache(64 * KB)
+        c.load(1, 0, KB)
+        r = c.load(1, 0, KB)
+        assert r.hit == KB and r.writeback == 0
+
+    def test_disjoint_regions_coexist(self):
+        c = RegionCache(64 * KB)
+        c.load(1, 0, KB)
+        c.load(1, 4 * KB, KB)
+        assert c.load(1, 0, KB).hit == KB
+        assert c.load(1, 4 * KB, KB).hit == KB
+
+    def test_flush_buffer_writes_back_dirty(self):
+        c = RegionCache(64 * KB)
+        c.store(1, 0, KB)
+        c.load(1, 2 * KB, KB)
+        assert c.flush_buffer(1) == KB
+        assert c.used_bytes == 0
+
+    def test_invalidate_is_silent(self):
+        c = RegionCache(64 * KB)
+        c.store(1, 0, KB)
+        c.invalidate((1, 0, KB))
+        assert c.used_bytes == 0
+
+
+class TestSetAssociativeCache:
+    def test_basic_hit_miss(self):
+        c = SetAssociativeCache(size=8 * KB, line_size=64, associativity=2)
+        r = c.load(1, 0, 128)
+        assert r.miss == 128
+        assert c.load(1, 0, 128).hit == 128
+
+    def test_store_rfo(self):
+        c = SetAssociativeCache(size=8 * KB, line_size=64, associativity=2)
+        r = c.store(1, 0, 64)
+        assert r.rfo == 64
+
+    def test_conflict_eviction_writes_back_dirty(self):
+        c = SetAssociativeCache(size=2 * 64 * 2, line_size=64, associativity=2)
+        # 2 sets x 2 ways; three lines mapping to the same set
+        c.store(1, 0, 64)
+        c.store(1, 2 * 64, 64)  # same set (stride = n_sets * line)
+        r = c.store(1, 4 * 64, 64)
+        assert r.writeback == 64
+
+    def test_nt_store_invalidates(self):
+        c = SetAssociativeCache(size=8 * KB, line_size=64, associativity=2)
+        c.store(1, 0, 64)
+        c.store_nt(1, 0, 64)
+        assert c.load(1, 0, 64).miss == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size=1000, line_size=64, associativity=4)
+
+    def test_partial_line_access_rounds_to_lines(self):
+        c = SetAssociativeCache(size=8 * KB, line_size=64, associativity=2)
+        r = c.load(1, 10, 10)  # within one line
+        assert r.miss == 64
+
+
+class TestModelAgreement:
+    """The fast region model and the line-granular model must agree on
+    streaming workloads (the collectives' access pattern)."""
+
+    def _both(self):
+        return RegionCache(8 * KB), SetAssociativeCache(
+            size=8 * KB, line_size=64, associativity=128 // 8
+        )
+
+    def test_streaming_copy_traffic_agrees(self):
+        region, lines = self._both()
+        total_r = AccessResult()
+        total_l = AccessResult()
+        # stream 64 KB through an 8 KB cache in 1 KB slices
+        for i in range(64):
+            off = i * KB
+            total_r += region.load(1, off, KB)
+            total_r += region.store(2, off, KB)
+            total_l += lines.load(1, off, KB)
+            total_l += lines.store(2, off, KB)
+        assert total_r.miss == total_l.miss
+        assert total_r.rfo == total_l.rfo
+        # write-backs may differ at the tail (residency), bounded by 2x cache
+        assert abs(total_r.writeback - total_l.writeback) <= 2 * 8 * KB
+
+    def test_resident_reuse_agrees(self):
+        region, lines = self._both()
+        for model in (region, lines):
+            model.load(1, 0, 4 * KB)
+            r = model.load(1, 0, 4 * KB)
+            assert r.hit == 4 * KB
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["load", "store", "store_nt"]),
+            st.integers(0, 7),   # slice index
+        ),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_property_conservation(self, ops):
+        """hit + miss == requested bytes on every access, both models."""
+        region = RegionCache(4 * KB)
+        lines = SetAssociativeCache(size=4 * KB, line_size=64,
+                                    associativity=8)
+        for kind, idx in ops:
+            for model in (region, lines):
+                res = getattr(model, kind)(1, idx * KB, KB)
+                assert res.hit + res.miss == KB
+                assert res.hit >= 0 and res.miss >= 0
+                assert res.rfo >= 0 and res.writeback >= 0
+                if kind == "load":
+                    assert res.rfo == 0
+                if kind == "store_nt":
+                    assert res.rfo == 0 and res.hit == 0

@@ -1,0 +1,220 @@
+"""Memory-system tests: traffic accounting, NUMA homing, contention and
+the t-copy/nt-copy traffic ratios that drive the whole paper."""
+
+import pytest
+
+from repro.machine.memory import MemorySystem, TrafficCounters
+from repro.sim.buffers import Buffer, SharedBuffer
+
+from tests.conftest import TINY
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make_ms(nranks=8):
+    return MemorySystem(TINY, nranks)
+
+
+def private(nbytes, rank, ms):
+    return Buffer(nbytes, owner=rank, home_socket=ms.socket_of_rank(rank))
+
+
+class TestTrafficCounters:
+    def test_dav_is_loads_plus_stores(self):
+        t = TrafficCounters(logical_load=10, logical_store=5)
+        assert t.dav == 15
+
+    def test_addition(self):
+        a = TrafficCounters(logical_load=1, mem_read_bytes=2)
+        b = TrafficCounters(logical_load=10, mem_read_bytes=20)
+        c = a + b
+        assert c.logical_load == 11 and c.mem_read_bytes == 22
+
+
+class TestLogicalAccounting:
+    def test_load_counts_logical(self):
+        ms = make_ms()
+        buf = private(KB, 0, ms)
+        ms.load(0, buf, 0, KB)
+        assert ms.counters.logical_load == KB
+        assert ms.per_rank[0].logical_load == KB
+
+    def test_store_counts_logical(self):
+        ms = make_ms()
+        buf = private(KB, 0, ms)
+        ms.store(0, buf, 0, KB, nt=True)
+        assert ms.counters.logical_store == KB
+
+    def test_zero_size_free(self):
+        ms = make_ms()
+        buf = private(KB, 0, ms)
+        assert ms.load(0, buf, 0, 0) == 0.0
+        assert ms.counters.dav == 0
+
+
+class TestStreamingTrafficRatios:
+    """Past-cache streaming: t-copy moves 3 bytes per byte copied
+    (load + RFO + write-back), nt-copy moves 2 (Section 4.1)."""
+
+    def _stream(self, nt: bool) -> TrafficCounters:
+        ms = make_ms(nranks=1)
+        total = 16 * MB  # far beyond the 1.25 MB socket cache
+        src = private(total, 0, ms)
+        dst = private(total, 0, ms)
+        for off in range(0, total, 64 * KB):
+            ms.load(0, src, off, 64 * KB)
+            ms.store(0, dst, off, 64 * KB, nt=nt)
+        return ms.counters
+
+    def test_t_copy_traffic_is_3x(self):
+        c = self._stream(nt=False)
+        copied = c.logical_store
+        assert abs(c.memory_traffic - 3 * copied) / copied < 0.1
+
+    def test_nt_copy_traffic_is_2x(self):
+        c = self._stream(nt=True)
+        copied = c.logical_store
+        assert abs(c.memory_traffic - 2 * copied) / copied < 0.05
+
+    def test_nt_copy_faster_than_t_copy(self):
+        ms = make_ms(nranks=1)
+        total = 16 * MB
+        src = private(total, 0, ms)
+        d1 = private(total, 0, ms)
+        d2 = private(total, 0, ms)
+        t_t = sum(
+            ms.load(0, src, off, 64 * KB) + ms.store(0, d1, off, 64 * KB)
+            for off in range(0, total, 64 * KB)
+        )
+        ms.reset_caches()
+        t_nt = sum(
+            ms.load(0, src, off, 64 * KB)
+            + ms.store(0, d2, off, 64 * KB, nt=True)
+            for off in range(0, total, 64 * KB)
+        )
+        assert t_nt < t_t
+        # ratio should be near 2/3 (2n vs 3n memory traffic)
+        assert 0.5 < t_nt / t_t < 0.85
+
+
+class TestCacheResidentAccess:
+    def test_small_working_set_hits(self):
+        ms = make_ms(nranks=1)
+        buf = private(64 * KB, 0, ms)
+        ms.load(0, buf, 0, 64 * KB)
+        ms.reset_counters()
+        ms.load(0, buf, 0, 64 * KB)
+        assert ms.counters.cache_hit_bytes == 64 * KB
+        assert ms.counters.mem_read_bytes == 0
+
+    def test_cached_temporal_store_cheap(self):
+        ms = make_ms(nranks=1)
+        buf = private(64 * KB, 0, ms)
+        ms.store(0, buf, 0, 64 * KB)
+        ms.reset_counters()
+        t = ms.store(0, buf, 0, 64 * KB)
+        assert ms.counters.rfo_bytes == 0
+        assert t < 64 * KB / 1e9  # cache-speed
+
+
+class TestNUMA:
+    def test_private_buffer_remote_load_counts_numa(self):
+        ms = make_ms(nranks=8)  # ranks 0-3 socket 0, 4-7 socket 1
+        buf = private(2 * MB, 0, ms)  # homed socket 0, too big to cache
+        ms.load(4, buf, 0, 2 * MB)
+        assert ms.counters.numa_bytes > 0
+
+    def test_local_load_no_numa(self):
+        ms = make_ms(nranks=8)
+        buf = private(2 * MB, 0, ms)
+        ms.load(0, buf, 0, 2 * MB)
+        assert ms.counters.numa_bytes == 0
+
+    def test_remote_slower_than_local(self):
+        ms = make_ms(nranks=8)
+        b0 = private(2 * MB, 0, ms)
+        t_local = ms.load(0, b0, 0, 2 * MB)
+        ms.reset_caches()
+        t_remote = ms.load(4, b0, 0, 2 * MB)
+        assert t_remote > t_local
+
+    def test_first_touch_homes_shared_region(self):
+        ms = make_ms(nranks=8)
+        shm = SharedBuffer(2 * MB)
+        ms.store(5, shm, 0, 2 * MB, nt=True)  # first touch by socket 1
+        ms.reset_caches()
+        # socket-1 reader is local, socket-0 reader is remote
+        t1 = ms.load(5, shm, 0, 2 * MB)
+        ms.reset_caches()
+        t0 = ms.load(1, shm, 0, 2 * MB)
+        assert t0 > t1
+        assert ms.counters.numa_bytes > 0
+
+    def test_cache_to_cache_service(self):
+        ms = make_ms(nranks=8)
+        shm = SharedBuffer(64 * KB)
+        ms.store(0, shm, 0, 64 * KB)  # resident in socket 0 cache
+        ms.reset_counters()
+        ms.load(4, shm, 0, 64 * KB)  # socket 1 pulls it c2c
+        assert ms.counters.c2c_bytes == 64 * KB
+        assert ms.counters.mem_read_bytes == 0
+
+
+class TestContention:
+    def test_active_ranks_share_bandwidth(self):
+        ms = make_ms(nranks=8)
+        buf = private(4 * MB, 0, ms)
+        ms.set_active_ranks([0])
+        t_alone = ms.load(0, buf, 0, 4 * MB)
+        ms.reset_caches()
+        ms.set_active_ranks(range(8))
+        t_shared = ms.load(0, buf, 0, 4 * MB)
+        assert t_shared > 2.0 * t_alone  # 4 sharers on socket 0
+
+    def test_concurrency_override(self):
+        ms = make_ms(nranks=8)
+        buf = private(4 * MB, 0, ms)
+        ms.set_active_ranks(range(8))
+        t_shared = ms.load(0, buf, 0, 4 * MB)
+        ms.reset_caches()
+        t_solo = ms.load(0, buf, 0, 4 * MB, concurrency=1)
+        assert t_solo < t_shared
+
+    def test_concurrency_clamped_to_active(self):
+        ms = make_ms(nranks=8)
+        buf = private(4 * MB, 0, ms)
+        ms.set_active_ranks([0, 1])
+        t_big = ms.load(0, buf, 0, 4 * MB, concurrency=100)
+        ms.reset_caches()
+        t_active = ms.load(0, buf, 0, 4 * MB)
+        assert t_big == pytest.approx(t_active)
+
+
+class TestInvalidation:
+    def test_store_invalidates_remote_copies(self):
+        ms = make_ms(nranks=8)
+        shm = SharedBuffer(64 * KB)
+        ms.load(0, shm, 0, 64 * KB)  # socket 0 caches it
+        ms.load(4, shm, 0, 64 * KB)  # socket 1 caches it (c2c)
+        ms.store(4, shm, 0, 64 * KB)  # socket 1 takes ownership
+        ms.reset_counters()
+        ms.load(0, shm, 0, 64 * KB)  # socket 0's copy was invalidated
+        assert ms.counters.cache_hit_bytes == 0
+
+
+class TestRemoteStores:
+    def test_remote_homed_temporal_store_pays_remote_rfo(self):
+        ms = make_ms(nranks=8)
+        buf = private(2 * MB, 0, ms)  # homed socket 0
+        t_local = ms.store(0, buf, 0, 2 * MB)
+        ms.reset_caches()
+        t_remote = ms.store(4, buf, 0, 2 * MB)  # socket 1 writes
+        assert t_remote > t_local
+        assert ms.counters.numa_bytes > 0
+
+    def test_remote_nt_store_crosses_link(self):
+        ms = make_ms(nranks=8)
+        buf = private(1 * MB, 0, ms)
+        ms.store(4, buf, 0, 1 * MB, nt=True)
+        assert ms.counters.numa_bytes == 1 * MB

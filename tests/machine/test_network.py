@@ -1,0 +1,104 @@
+"""Network model tests: multi-lane saturation and collective costs."""
+
+import math
+
+import pytest
+
+from repro.machine.network import INFINIBAND_EDR, Network, NetworkSpec
+
+
+class TestNetworkSpec:
+    def test_lane_cannot_exceed_link(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("bad", latency=1e-6, link_bandwidth=1e9,
+                        lane_bandwidth=2e9)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("bad", latency=1e-6, link_bandwidth=0,
+                        lane_bandwidth=0)
+
+
+class TestEffectiveBandwidth:
+    def test_single_lane(self):
+        net = Network(INFINIBAND_EDR)
+        assert net.effective_bandwidth(1) == INFINIBAND_EDR.lane_bandwidth
+
+    def test_multi_lane_saturates_link(self):
+        net = Network(INFINIBAND_EDR)
+        k = math.ceil(
+            INFINIBAND_EDR.link_bandwidth / INFINIBAND_EDR.lane_bandwidth
+        )
+        assert net.effective_bandwidth(k) == INFINIBAND_EDR.link_bandwidth
+        assert net.effective_bandwidth(64) == INFINIBAND_EDR.link_bandwidth
+
+    def test_rejects_zero_senders(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.effective_bandwidth(0)
+
+
+class TestP2P:
+    def test_latency_floor(self):
+        net = Network()
+        assert net.p2p_time(0) == INFINIBAND_EDR.latency
+
+    def test_bandwidth_term(self):
+        net = Network()
+        t = net.p2p_time(1 << 20)
+        expect = INFINIBAND_EDR.latency + (1 << 20) / INFINIBAND_EDR.lane_bandwidth
+        assert t == pytest.approx(expect)
+
+    def test_accounting(self):
+        net = Network()
+        net.p2p_time(1000)
+        net.p2p_time(2000)
+        assert net.bytes_sent == 3000 and net.messages == 2
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Network().p2p_time(-1)
+
+
+class TestRingAllreduce:
+    def test_single_node_free(self):
+        assert Network().ring_allreduce_time(1 << 20, 1) == 0.0
+
+    def test_multi_lane_faster(self):
+        net = Network()
+        slow = net.ring_allreduce_time(64 << 20, 8, concurrent_procs=1)
+        fast = net.ring_allreduce_time(64 << 20, 8, concurrent_procs=64)
+        assert fast < slow / 2
+
+    def test_scales_with_nodes_latency(self):
+        net = Network()
+        t4 = net.ring_allreduce_time(1024, 4)
+        t16 = net.ring_allreduce_time(1024, 16)
+        assert t16 > t4  # more latency steps
+
+
+class TestTreeCollectives:
+    def test_tree_bcast_log_rounds(self):
+        net = Network()
+        t2 = net.tree_bcast_time(1024, 2)
+        t16 = net.tree_bcast_time(1024, 16)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_tree_allreduce_is_double_bcast(self):
+        net = Network()
+        assert net.tree_allreduce_time(4096, 8) == pytest.approx(
+            2 * net.tree_bcast_time(4096, 8)
+        )
+
+    def test_tree_beats_ring_small_messages_many_nodes(self):
+        net = Network()
+        s = 16 * 1024
+        assert net.tree_allreduce_time(s, 64) < net.ring_allreduce_time(s, 64)
+
+    def test_ring_beats_tree_large_messages(self):
+        net = Network()
+        s = 256 << 20
+        assert (
+            net.ring_allreduce_time(s, 16, concurrent_procs=64)
+            < net.tree_allreduce_time(s, 16)
+        )

@@ -1,0 +1,60 @@
+"""NT switch-point model tests (Sections 4.2 / 5.4)."""
+
+import pytest
+
+from repro.machine.spec import NODE_A, NODE_B, KB, MB
+from repro.models.nt_model import (
+    nt_switch_message_size,
+    uses_nt_store,
+    work_set_size,
+)
+
+
+class TestWorkSetSize:
+    def test_allreduce(self):
+        assert work_set_size("allreduce", 100, 8, imax=10) == 1680
+
+    def test_bcast(self):
+        # Algorithm 3: W = s + s(p-1) + 2I
+        assert work_set_size("bcast", 100, 8, imax=10) == 820
+
+    def test_allgather(self):
+        # Algorithm 4: W = sp + sp^2 + 2pI
+        assert work_set_size("allgather", 100, 8, imax=10) == 7360
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            work_set_size("alltoall", 1, 2)
+
+
+class TestSwitchPoints:
+    def test_node_a_allreduce_2176kb(self):
+        """Section 5.4: 'on NodeA... when the message size is larger
+        than 2176 KB, YHCCL starts to use nt-copy'."""
+        s = nt_switch_message_size("allreduce", NODE_A, 64, imax=256 * KB)
+        assert s == 2176 * KB
+
+    def test_node_b_allreduce_1152kb(self):
+        s = nt_switch_message_size("allreduce", NODE_B, 48, imax=128 * KB)
+        assert s == 1152 * KB
+
+    def test_allgather_switches_much_earlier(self):
+        ar = nt_switch_message_size("allreduce", NODE_A, 64, imax=1 * MB)
+        ag = nt_switch_message_size("allgather", NODE_A, 64, imax=1 * MB)
+        assert ag < ar / 10
+
+    def test_uses_nt_store_consistency(self):
+        s = 2176 * KB
+        assert not uses_nt_store("allreduce", s - 8 * KB, NODE_A, 64,
+                                 imax=256 * KB)
+        assert uses_nt_store("allreduce", s + 8 * KB, NODE_A, 64,
+                             imax=256 * KB)
+
+    def test_temporal_flag_gates_everything(self):
+        assert not uses_nt_store("allreduce", 1 << 30, NODE_A, 64,
+                                 t_flag=False)
+
+    def test_never_negative(self):
+        # tiny cache machines may always use NT, never a negative size
+        assert nt_switch_message_size("allgather", NODE_B, 48,
+                                      imax=4 * MB) == 0.0

@@ -1,0 +1,52 @@
+"""Algebraic timing model tests: order-of-magnitude agreement with the
+event simulator, and correct qualitative orderings."""
+
+import pytest
+
+from repro.collectives.common import run_reduce_collective
+from repro.collectives.ma import MA_ALLREDUCE
+from repro.collectives.ring import RING_ALLREDUCE
+from repro.machine.spec import NODE_A, KB, MB
+from repro.models.timing import predict_time
+
+from tests.conftest import TINY
+from repro.sim.engine import Engine
+
+
+class TestQualitativeOrderings:
+    def test_ma_predicted_faster_than_ring_large(self):
+        s = 64 * MB
+        t_ma = predict_time("allreduce", "ma", s, 64, NODE_A)
+        t_ring = predict_time("allreduce", "ring", s, 64, NODE_A)
+        assert t_ma < t_ring
+
+    def test_nt_stores_predicted_faster(self):
+        s = 64 * MB
+        t_nt = predict_time("allreduce", "socket-ma", s, 64, NODE_A,
+                            nt_stores=True)
+        t_t = predict_time("allreduce", "socket-ma", s, 64, NODE_A,
+                           nt_stores=False)
+        assert t_nt < t_t
+
+    def test_monotone_in_message_size(self):
+        ts = [
+            predict_time("allreduce", "ma", s, 64, NODE_A)
+            for s in (1 * MB, 8 * MB, 64 * MB)
+        ]
+        assert ts[0] < ts[1] < ts[2]
+
+
+class TestSimulatorAgreement:
+    """The coarse model should land within ~3x of the simulator on
+    bandwidth-bound configurations (it has no cache simulation)."""
+
+    @pytest.mark.parametrize("alg,name", [
+        (MA_ALLREDUCE, "ma"),
+        (RING_ALLREDUCE, "ring"),
+    ])
+    def test_within_factor(self, alg, name):
+        s = 2 * MB
+        eng = Engine(8, machine=TINY, functional=False)
+        sim = run_reduce_collective(alg, eng, s, imax=64 * KB).time
+        model = predict_time("allreduce", name, s, 8, TINY, imax=64 * KB)
+        assert model / sim < 3.5 and sim / model < 3.5

@@ -1,0 +1,37 @@
+"""Additional timing-model coverage: all kinds, unknown algorithms,
+cache-resident branch."""
+
+import pytest
+
+from repro.machine.spec import NODE_A, KB, MB
+from repro.models.timing import predict_time
+
+
+class TestAllKinds:
+    @pytest.mark.parametrize("kind,alg", [
+        ("reduce_scatter", "ma"),
+        ("reduce_scatter", "ring"),
+        ("reduce", "ma"),
+        ("reduce", "dpml"),
+        ("allreduce", "socket-ma"),
+        ("allreduce", "rabenseifner"),
+    ])
+    def test_positive_estimates(self, kind, alg):
+        t = predict_time(kind, alg, 4 * MB, 64, NODE_A)
+        assert t > 0
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            predict_time("allreduce", "quantum", 1 * MB, 64, NODE_A)
+
+    def test_cache_resident_branch_cheaper(self):
+        # tiny message: the W <= C branch divides traffic by 4
+        small = predict_time("allreduce", "ma", 64 * KB, 64, NODE_A)
+        big = predict_time("allreduce", "ma", 64 * MB, 64, NODE_A)
+        assert small < big / 100
+
+    def test_socket_ma_fewer_syncs_than_ma_at_small(self):
+        small_ma = predict_time("allreduce", "ma", 8 * KB, 64, NODE_A)
+        small_sa = predict_time("allreduce", "socket-ma", 8 * KB, 64,
+                                NODE_A)
+        assert small_sa < small_ma

@@ -1,0 +1,88 @@
+"""Buffer and view tests: bounds, alignment, functional/virtual modes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.buffers import Buffer, BufView, SharedBuffer, alloc, alloc_shared
+
+
+class TestBuffer:
+    def test_unique_ids(self):
+        a, b = Buffer(64), Buffer(64)
+        assert a.buf_id != b.buf_id
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Buffer(0)
+
+    def test_data_size_must_match(self):
+        with pytest.raises(ValueError):
+            Buffer(64, data=np.zeros(4))  # 32 bytes != 64
+
+    def test_virtual_buffer_has_no_array(self):
+        b = Buffer(64)
+        with pytest.raises(RuntimeError):
+            b.array()
+
+    def test_array_view_is_shared_memory(self):
+        b = Buffer(64, data=np.zeros(8))
+        b.array(0, 32)[:] = 7.0
+        assert b.data[3] == 7.0
+        assert b.data[4] == 0.0
+
+    def test_alignment_enforced(self):
+        b = Buffer(64, data=np.zeros(8))
+        with pytest.raises(ValueError):
+            b.array(3, 8)
+        with pytest.raises(ValueError):
+            b.array(0, 7)
+
+
+class TestBufView:
+    def test_bounds_checked(self):
+        b = Buffer(64)
+        with pytest.raises(ValueError):
+            BufView(b, 32, 64)
+        with pytest.raises(ValueError):
+            BufView(b, -1, 8)
+
+    def test_sub_view(self):
+        b = Buffer(64, data=np.arange(8.0))
+        v = b.view(16, 32).sub(8, 16)
+        np.testing.assert_array_equal(v.array(), [3.0, 4.0])
+
+    def test_is_virtual(self):
+        assert Buffer(8).view().is_virtual
+        assert not Buffer(8, data=np.zeros(1)).view().is_virtual
+
+
+class TestAllocHelpers:
+    def test_functional_fill(self):
+        b = alloc(64, functional=True, fill=3.5)
+        assert np.all(b.array() == 3.5)
+
+    def test_functional_random_deterministic(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = alloc(64, functional=True, rng=rng1)
+        b = alloc(64, functional=True, rng=rng2)
+        np.testing.assert_array_equal(a.array(), b.array())
+
+    def test_virtual_alloc(self):
+        b = alloc(64, functional=False)
+        assert b.data is None
+
+    def test_shared_zeroed(self):
+        s = alloc_shared(64, functional=True)
+        assert isinstance(s, SharedBuffer)
+        assert np.all(s.array() == 0.0)
+        assert s.home_socket is None  # first-touch
+
+    def test_unaligned_functional_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            alloc(63, functional=True)
+
+    def test_integer_dtype(self):
+        b = alloc(64, functional=True, dtype=np.int64, fill=4)
+        assert b.array().dtype == np.int64
+        assert np.all(b.array() == 4)

@@ -1,0 +1,47 @@
+"""Trace container tests."""
+
+from repro.sim.trace import OpRecord, Trace
+
+
+def rec(rank=0, kind="copy", nbytes=64, nt=False, t0=0.0, t1=1.0):
+    return OpRecord(rank=rank, kind=kind, nbytes=nbytes, nt=nt,
+                    t_start=t0, t_end=t1)
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        t = Trace()
+        t.add(rec())
+        t.add(rec(kind="reduce_acc"))
+        assert len(t) == 2
+        assert [r.kind for r in t] == ["copy", "reduce_acc"]
+
+    def test_by_rank(self):
+        t = Trace()
+        t.add(rec(rank=0))
+        t.add(rec(rank=1))
+        t.add(rec(rank=1))
+        assert len(t.by_rank(1)) == 2
+
+    def test_copy_bytes_by_nt(self):
+        t = Trace()
+        t.add(rec(nbytes=10, nt=False))
+        t.add(rec(nbytes=20, nt=True))
+        t.add(rec(kind="reduce_acc", nbytes=100))
+        assert t.copy_bytes() == 30
+        assert t.copy_bytes(nt=True) == 20
+        assert t.copy_bytes(nt=False) == 10
+        assert t.reduce_bytes() == 100
+
+    def test_duration(self):
+        r = rec(t0=1.5, t1=2.0)
+        assert r.duration == 0.5
+
+    def test_summary(self):
+        t = Trace()
+        t.add(rec())
+        t.add(rec(kind="reduce_out", nbytes=7))
+        s = t.summary()
+        assert s["ops"] == 2
+        assert s["by_kind"] == {"copy": 1, "reduce_out": 1}
+        assert s["reduce_bytes"] == 7
