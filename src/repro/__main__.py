@@ -17,6 +17,12 @@ Commands
 
 ``info``
     Print the machine presets and registered algorithms.
+
+``analyze <collective>``
+    Happens-before schedule analysis: trace a collective and check for
+    data races, deadlocks, schedule lints and DAV regressions (see
+    ``docs/analysis.md``).  ``analyze all`` sweeps the whole matrix;
+    exits non-zero when any check fails.
 """
 
 from __future__ import annotations
@@ -64,6 +70,21 @@ def main(argv=None) -> int:
 
     sub.add_parser("info", help="presets and algorithm registry")
 
+    ana = sub.add_parser(
+        "analyze", help="happens-before race/deadlock/DAV analysis"
+    )
+    ana.add_argument("collective",
+                     help="matrix name (see 'info') or 'all'")
+    ana.add_argument("-n", "--nranks", type=int, default=8)
+    ana.add_argument("-s", "--size", type=int, default=4096,
+                     help="message size in bytes (default 4096)")
+    ana.add_argument("--machine", default="none",
+                     choices=["none", "both"] + sorted(PRESETS),
+                     help="machine preset, 'both' for NodeA+NodeB, "
+                          "'none' for pure functional (default)")
+    ana.add_argument("--schedule-seed", type=int, default=None,
+                     help="randomize the engine schedule")
+
     rep = sub.add_parser("report", help="assemble benchmark result report")
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--out", default="")
@@ -101,6 +122,31 @@ def main(argv=None) -> int:
         else:
             print(build_report(results))
         return 0
+
+    if args.command == "analyze":
+        from repro.analysis.runner import analyze_collective, render_results
+
+        if args.machine == "none":
+            machines = [None]
+        elif args.machine == "both":
+            machines = [PRESETS["NodeA"], PRESETS["NodeB"]]
+        else:
+            machines = [PRESETS[args.machine]]
+        failed = False
+        for mach in machines:
+            label = mach.name if mach is not None else "functional"
+            print(f"== {label} (p={args.nranks}, s={args.size}) ==")
+            try:
+                results = analyze_collective(
+                    args.collective, machine=mach, nranks=args.nranks,
+                    s=args.size, schedule_seed=args.schedule_seed,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(render_results(results))
+            failed = failed or any(not r.ok for r in results)
+        return 1 if failed else 0
 
     if args.command == "compare":
         print(compare_priorities(

@@ -1,0 +1,110 @@
+"""Happens-before schedule analysis for collective traces.
+
+The fuzzing tests show a collective is schedule-*invariant* — same
+result under many interleavings.  This package proves the stronger
+property for one traced run: no two conflicting buffer accesses are
+unordered under the happens-before relation the schedule's post/wait
+and barrier structure induces, no rank can block forever, and the data
+volume moved matches the paper's Theorem 3.1 accounting.
+
+Entry points:
+
+* :func:`analyze_trace` — run all checks over an event-traced run;
+* :func:`repro.analysis.runner.analyze_collective` — build, run and
+  analyze a registered collective (the ``python -m repro analyze``
+  backend).
+
+See ``docs/analysis.md`` for the formal model and report format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.dav import DavCheck, check_dav, predicted_dav, traced_dav
+from repro.analysis.hb import (
+    MAX_REPORTED_RACES,
+    Race,
+    StampedAccess,
+    find_races,
+    race_check,
+    stamp_accesses,
+)
+from repro.analysis.schedule import ScheduleIssue, lint_schedule
+from repro.sim.trace import Trace
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_trace",
+    "Race",
+    "StampedAccess",
+    "ScheduleIssue",
+    "DavCheck",
+    "MAX_REPORTED_RACES",
+    "stamp_accesses",
+    "find_races",
+    "race_check",
+    "lint_schedule",
+    "check_dav",
+    "predicted_dav",
+    "traced_dav",
+]
+
+
+@dataclass
+class AnalysisReport:
+    """Combined verdict of every check over one trace."""
+
+    nranks: int
+    races: List[Race] = field(default_factory=list)
+    total_races: int = 0
+    issues: List[ScheduleIssue] = field(default_factory=list)
+    dav: Optional[DavCheck] = None
+
+    @property
+    def deadlocks(self) -> List[ScheduleIssue]:
+        return [i for i in self.issues if i.kind == "deadlock"]
+
+    @property
+    def ok(self) -> bool:
+        return (not self.total_races and not self.issues
+                and (self.dav is None or self.dav.ok))
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        if self.total_races:
+            shown = len(self.races)
+            lines.append(f"{self.total_races} race(s)"
+                         + (f" ({shown} shown)"
+                            if shown < self.total_races else "") + ":")
+            lines += [f"  - {r.describe()}" for r in self.races]
+        if self.issues:
+            lines.append(f"{len(self.issues)} schedule issue(s):")
+            lines += [f"  - {i.describe()}" for i in self.issues]
+        if self.dav is not None:
+            lines.append(self.dav.describe())
+        if not lines:
+            lines.append("no races, no deadlocks, no schedule issues")
+        return "\n".join(lines)
+
+
+def analyze_trace(trace: Trace, nranks: int, *,
+                  dav_kind: Optional[str] = None,
+                  dav_algorithm: str = "",
+                  s: int = 0, m: int = 2, k: int = 2,
+                  max_reports: int = MAX_REPORTED_RACES) -> AnalysisReport:
+    """Run race detection, schedule lints and (optionally) the DAV
+    cross-check over an event-traced run.
+
+    The trace must come from an ``Engine(..., trace=True)`` run; pass
+    ``dav_kind``/``dav_algorithm``/``s`` to also verify the moved bytes
+    against the Theorem 3.1 formula for that collective.
+    """
+    races, total = race_check(trace, nranks, max_reports=max_reports)
+    issues = lint_schedule(trace, nranks, races=races)
+    dav = None
+    if dav_kind is not None:
+        dav = check_dav(trace, dav_kind, dav_algorithm, s, nranks, m=m, k=k)
+    return AnalysisReport(nranks=nranks, races=races, total_races=total,
+                          issues=issues, dav=dav)

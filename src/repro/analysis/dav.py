@@ -1,0 +1,119 @@
+"""DAV cross-check: traced data-access volume vs the paper's formulas.
+
+The trace records every copy and reduce with its byte count, so the
+*measured* DAV of a run is ``2 * copy_bytes + 3 * reduce_bytes`` —
+each copy reads and writes ``n`` bytes (2n accesses), each reduce reads
+two operands and writes one (3n), per Section 3's accounting
+(Theorem 3.1).  The closed-form rows in :mod:`repro.models.dav`
+(``paper=False`` variants) predict exactly this number for each
+implementation; a collective that moves *more* than its formula has a
+schedule bug (a redundant copy, an oversized slice), which this check
+turns into a hard failure.
+
+Collectives the paper has no table row for (``bcast``, ``allgather``)
+carry locally-derived formulas; anything else is reported as skipped,
+never silently passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.models.dav import implementation_dav
+from repro.sim.trace import Trace
+
+#: relative tolerance for float formula vs integer byte counters
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class DavCheck:
+    """Outcome of comparing a trace's DAV against its formula.
+
+    ``status`` is ``"ok"``, ``"fail"`` or ``"skipped"`` (no model for
+    this collective).
+    """
+
+    status: str
+    measured: float
+    predicted: Optional[float]
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+    def describe(self) -> str:
+        if self.status == "skipped":
+            return f"DAV check skipped: {self.detail}"
+        rel = ""
+        if self.predicted:
+            rel = f" ({self.measured / self.predicted:.4f}x predicted)"
+        return (f"DAV {self.status}: measured {self.measured:.0f} B, "
+                f"predicted {self.predicted:.0f} B{rel}{self.detail}")
+
+
+def traced_dav(trace: Trace) -> float:
+    """Data-access volume of a traced run (bytes touched, Thm 3.1)."""
+    return 2.0 * trace.copy_bytes() + 3.0 * trace.reduce_bytes()
+
+
+# Formulas for collectives outside Tables 1-3, derived from this
+# package's implementations the same way the tables' *_impl variants
+# were (each term is one copy/reduce pass over s or s/p bytes):
+#   bcast             root writes shm (2s), p-1 readers copy out (2s each)
+#   allgather         p ranks copy in s (2s each), p copy out ps (2ps each)
+#   reduce_scatter_v  the MA pipeline on ragged counts; total is still s,
+#                     so Table 1's MA row applies verbatim
+#   allgather_v       total contribution s copied in once, s copied out
+#                     by each of p ranks
+_EXTRA_DAV: Dict[str, Callable[[int, int], float]] = {
+    "bcast": lambda s, p: 2.0 * s * p,
+    "allgather": lambda s, p: 2.0 * s * p + 2.0 * s * p * p,
+    "reduce_scatter_v": lambda s, p: s * (3.0 * p - 1.0),
+    "allgather_v": lambda s, p: 2.0 * s * (p + 1.0),
+}
+
+
+def predicted_dav(kind: str, algorithm: str, s: int, p: int, *,
+                  m: int = 2, k: int = 2) -> Optional[float]:
+    """Expected DAV, or ``None`` when no model covers the collective."""
+    if kind in _EXTRA_DAV:
+        return _EXTRA_DAV[kind](s, p)
+    try:
+        return implementation_dav(kind, algorithm, s, p, m=m, k=k)
+    except (KeyError, ValueError):
+        return None
+
+
+def check_dav(trace: Trace, kind: str, algorithm: str, s: int, p: int, *,
+              m: int = 2, k: int = 2) -> DavCheck:
+    """Compare a trace's measured DAV against the formula for
+    ``(kind, algorithm)``; exceeding the prediction is a failure."""
+    measured = traced_dav(trace)
+    if p == 1:
+        # every collective degenerates to local copies; the table
+        # formulas assume p >= 2 (ring's 5s(p-1) would predict 0)
+        return DavCheck(
+            status="skipped", measured=measured, predicted=None,
+            detail="p=1 degenerate run (Table 1-3 formulas assume p >= 2)",
+        )
+    predicted = predicted_dav(kind, algorithm, s, p, m=m, k=k)
+    if predicted is None:
+        return DavCheck(
+            status="skipped", measured=measured, predicted=None,
+            detail=f"no DAV model for {kind}/{algorithm}",
+        )
+    if measured > predicted * (1.0 + REL_TOL):
+        return DavCheck(
+            status="fail", measured=measured, predicted=predicted,
+            detail=(f" — {kind}/{algorithm} moved "
+                    f"{measured - predicted:.0f} B more than Theorem 3.1 "
+                    f"predicts at s={s}, p={p}"),
+        )
+    detail = ""
+    if measured < predicted * (1.0 - REL_TOL):
+        detail = " (under prediction: schedule moved less than modelled)"
+    return DavCheck(status="ok", measured=measured, predicted=predicted,
+                    detail=detail)

@@ -1,0 +1,201 @@
+"""Schedule lints: deadlock certificates, tag hygiene, barrier and
+window-slot discipline.
+
+These checks complement the happens-before race detector: a race says
+*these two operations are unordered*; a lint says *why* — a wait that
+can never be satisfied, a flag tag recycled while stale posts survive,
+mismatched barrier groups, or a shared-memory window slot overwritten
+before its consumer finished reading.
+
+All lints run over the structured event stream an event-traced
+:class:`~repro.sim.engine.Engine` produces (see
+:mod:`repro.sim.trace`); a deadlocked run leaves ``blocked`` events in
+the trace before :class:`~repro.sim.engine.DeadlockError` propagates,
+so its certificate survives for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.hb import Race
+from repro.sim.trace import SyncEvent, Trace
+
+
+@dataclass(frozen=True)
+class ScheduleIssue:
+    """One lint finding.
+
+    ``kind`` is one of ``deadlock``, ``barrier-group-mismatch``,
+    ``tag-reuse``, ``unmatched-post-ref``, ``slot-overwrite``.
+    """
+
+    kind: str
+    message: str
+    rank: int = -1
+    tag: object = None
+    group: tuple = ()
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+def lint_schedule(trace: Trace, nranks: int,
+                  races: Optional[Sequence[Race]] = None
+                  ) -> List[ScheduleIssue]:
+    """Run every schedule lint over a trace's event stream."""
+    events = [e for e in trace.events if isinstance(e, SyncEvent)]
+    issues: List[ScheduleIssue] = []
+    issues += _deadlock_certificates(events)
+    issues += _barrier_group_mismatches(events)
+    issues += _tag_reuse(events)
+    issues += _unmatched_post_refs(events)
+    if races:
+        issues += _slot_overwrites(races)
+    return issues
+
+
+def _deadlock_certificates(events: Sequence[SyncEvent]
+                           ) -> List[ScheduleIssue]:
+    """``blocked`` events are unsatisfiable waits/barriers: the engine
+    emits one per stuck rank immediately before raising
+    :class:`~repro.sim.engine.DeadlockError`."""
+    out = []
+    for ev in events:
+        if ev.kind != "blocked":
+            continue
+        out.append(
+            ScheduleIssue(
+                kind="deadlock",
+                message=ev.detail or ev.describe(),
+                rank=ev.rank,
+                tag=ev.tag,
+                group=ev.group,
+            )
+        )
+    return out
+
+
+def _barrier_group_mismatches(events: Sequence[SyncEvent]
+                              ) -> List[ScheduleIssue]:
+    """Blocked barriers whose groups overlap without being equal: two
+    ranks each rendezvous with a group containing the other, but they
+    named different groups — the classic split-barrier bug."""
+    blocked_barriers = [e for e in events
+                       if e.kind == "blocked" and e.group]
+    out = []
+    for i, a in enumerate(blocked_barriers):
+        for b in blocked_barriers[i + 1:]:
+            ga, gb = set(a.group), set(b.group)
+            if ga != gb and (ga & gb):
+                out.append(
+                    ScheduleIssue(
+                        kind="barrier-group-mismatch",
+                        message=(
+                            f"rank {a.rank} is in barrier{a.group} while "
+                            f"rank {b.rank} is in barrier{b.group}: the "
+                            f"groups overlap on ranks "
+                            f"{tuple(sorted(ga & gb))} but are not equal"
+                        ),
+                        rank=a.rank,
+                        group=a.group,
+                    )
+                )
+    return out
+
+
+def _tag_reuse(events: Sequence[SyncEvent]) -> List[ScheduleIssue]:
+    """A post of tag ``T`` *after* a wait on ``T`` was already released.
+
+    Waits are non-consuming, so a recycled tag cannot distinguish fresh
+    posts from stale ones: a later ``wait(T, n)`` may be satisfied by
+    posts from a previous step and release before its real dependency
+    executed.  Correct schedules make tags unique per step (the engine
+    docs mandate step indices in tags); this lint catches violations
+    even when the concrete schedule happened to produce a correct
+    result.  Run boundaries reset the tracking — the engine clears all
+    posts between runs.
+    """
+    out = []
+    first_wait: dict = {}
+    reported: set = set()
+    for ev in events:
+        if ev.kind == "run_start":
+            first_wait.clear()
+            continue
+        if ev.kind == "wait":
+            first_wait.setdefault(ev.tag, ev.seq)
+        elif ev.kind == "post":
+            w = first_wait.get(ev.tag)
+            if w is not None and ev.tag not in reported:
+                reported.add(ev.tag)
+                out.append(
+                    ScheduleIssue(
+                        kind="tag-reuse",
+                        message=(
+                            f"rank {ev.rank} posts {ev.tag!r} after a wait "
+                            f"on that tag was already released (event "
+                            f"#{w}); stale posts can satisfy later waits "
+                            f"— make the tag unique per step"
+                        ),
+                        rank=ev.rank,
+                        tag=ev.tag,
+                    )
+                )
+    return out
+
+
+def _unmatched_post_refs(events: Sequence[SyncEvent]
+                         ) -> List[ScheduleIssue]:
+    """A wait whose matched-post references are missing from the trace
+    — only possible for truncated or hand-built traces, but it would
+    silently weaken the happens-before construction, so it is an
+    analysis error rather than a silent pass."""
+    post_seqs = {e.seq for e in events if e.kind == "post"}
+    out = []
+    for ev in events:
+        if ev.kind != "wait":
+            continue
+        missing = [p for p in ev.matched if p not in post_seqs]
+        if missing:
+            out.append(
+                ScheduleIssue(
+                    kind="unmatched-post-ref",
+                    message=(
+                        f"wait({ev.tag!r}) on rank {ev.rank} references "
+                        f"post events {missing} that are not in the trace "
+                        f"(truncated trace?)"
+                    ),
+                    rank=ev.rank,
+                    tag=ev.tag,
+                )
+            )
+    return out
+
+
+def _slot_overwrites(races: Sequence[Race]) -> List[ScheduleIssue]:
+    """Races on *shared* buffers where a write follows an unordered
+    read or write by another rank — the window-slot discipline bug: a
+    producer recycled a slot before its ``consumed`` flag (or the
+    bracketing barrier) ordered the previous round's readers first."""
+    out = []
+    for race in races:
+        if not race.shared or race.second.mode != "w":
+            continue
+        verb = ("read" if race.first.mode == "r" else "wrote")
+        lo, hi = race.overlap
+        out.append(
+            ScheduleIssue(
+                kind="slot-overwrite",
+                message=(
+                    f"rank {race.second.rank} overwrites "
+                    f"{race.buf_name}[{lo}, {hi}) while rank "
+                    f"{race.first.rank}'s unordered access that {verb} it "
+                    f"may still be in flight — recycle the slot only "
+                    f"after its consumed flag or a bracketing barrier"
+                ),
+                rank=race.second.rank,
+            )
+        )
+    return out

@@ -26,7 +26,6 @@ data-parallel averaging is numerically exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

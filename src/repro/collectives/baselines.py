@@ -38,7 +38,6 @@ from repro.collectives.rabenseifner import (
     RabenseifnerReduceScatter,
 )
 from repro.collectives.rg import RGReduce
-from repro.collectives.ring import RingAllreduce, RingReduceScatter
 
 KB = 1024
 MB = 1024 * KB

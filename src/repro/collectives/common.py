@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.machine.spec import CACHE_LINE, KB, available_cache_capacity
-from repro.sim.buffers import Buffer, BufView, SharedBuffer
+from repro.sim.buffers import BufView, SharedBuffer
 from repro.sim.engine import Engine, RunResult
 
 #: Minimum slice size: one cache line, to avoid false sharing (Sec. 5.1).

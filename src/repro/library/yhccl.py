@@ -108,6 +108,39 @@ class YHCCL:
         )
         return self._wrap("allgather", nbytes, sel, res)
 
+    # ---- schedule verification --------------------------------------------------
+
+    def analyze(self, kind: str, nbytes: int, *, op: str = "sum",
+                schedule_seed: Optional[int] = None):
+        """Verify the schedule YHCCL would select for ``(kind, nbytes)``.
+
+        Runs the selected algorithm on a *traced* functional twin of
+        this communicator (same rank count and machine) and returns the
+        :class:`~repro.analysis.AnalysisReport` of its happens-before
+        race check, schedule lints and DAV cross-check — the artifact's
+        answer to "is this schedule correct, or did this run just get
+        lucky?".  See ``docs/analysis.md``.
+        """
+        from repro.analysis import analyze_trace
+        from repro.sim.engine import DeadlockError, Engine
+
+        sel = self._select(kind, nbytes) if kind in ("bcast", "allgather") \
+            else select(kind, nbytes, self.config, op=op)
+        eng = Engine(self.comm.nranks, machine=self.comm.machine,
+                     functional=True, trace=True,
+                     schedule_seed=schedule_seed)
+        runner = {
+            "bcast": run_bcast_collective,
+            "allgather": run_allgather_collective,
+        }.get(kind, run_reduce_collective)
+        kw = {} if kind in ("bcast", "allgather") else {"op": op}
+        try:
+            runner(sel.algorithm, eng, nbytes,
+                   copy_policy=sel.copy_policy, imax=self.config.imax, **kw)
+        except DeadlockError:
+            pass  # the trace carries the blocked certificates
+        return analyze_trace(eng.trace, eng.nranks)
+
     # ---- internals ---------------------------------------------------------------
 
     def _select(self, kind: str, nbytes: int) -> Selection:

@@ -20,7 +20,7 @@ allocates.  Private buffers are homed on their owner's socket.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.machine.cache import RegionCache
 from repro.machine.spec import MachineSpec

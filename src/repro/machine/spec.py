@@ -21,7 +21,7 @@ Sizes are in bytes, bandwidths in bytes/second, latencies in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 KB = 1024
 MB = 1024 * KB

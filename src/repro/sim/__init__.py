@@ -19,9 +19,15 @@ Two modes share one code path:
 """
 
 from repro.sim.buffers import Buffer, BufView, SharedBuffer
-from repro.sim.engine import Engine, RankCtx, RunResult, DeadlockError
+from repro.sim.engine import (
+    BlockedInfo,
+    DeadlockError,
+    Engine,
+    RankCtx,
+    RunResult,
+)
 from repro.sim.timeline import render_timeline, rank_stats, critical_rank
-from repro.sim.trace import OpRecord, Trace
+from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
 
 __all__ = [
     "Buffer",
@@ -30,8 +36,11 @@ __all__ = [
     "Engine",
     "RankCtx",
     "RunResult",
+    "BlockedInfo",
     "DeadlockError",
+    "AccessEvent",
     "OpRecord",
+    "SyncEvent",
     "Trace",
     "render_timeline",
     "rank_stats",

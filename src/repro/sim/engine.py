@@ -40,7 +40,7 @@ import numpy as np
 from repro.machine.memory import MemorySystem, TrafficCounters
 from repro.machine.spec import MachineSpec
 from repro.sim.buffers import Buffer, BufView, SharedBuffer, alloc, alloc_shared
-from repro.sim.trace import OpRecord, Trace
+from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
 
 REDUCE_OPS = {
     "sum": np.add,
@@ -66,8 +66,50 @@ def resolve_ufunc(op: str):
         return ufunc
 
 
+@dataclass(frozen=True)
+class BlockedInfo:
+    """One rank parked on an unsatisfiable sync — a deadlock certificate.
+
+    For ``kind == "wait"``: ``tag``/``count`` name the wait, ``have`` the
+    posts present and ``posters`` who made them.  For
+    ``kind == "barrier"``: ``group`` names the rendezvous and ``arrived``
+    the ranks already there; :attr:`missing` lists who never came.
+    """
+
+    rank: int
+    kind: str
+    tag: object = None
+    count: int = 0
+    have: int = 0
+    posters: tuple = ()
+    group: tuple = ()
+    arrived: tuple = ()
+
+    @property
+    def missing(self) -> tuple:
+        return tuple(r for r in self.group if r not in self.arrived)
+
+    def describe(self) -> str:
+        if self.kind == "wait":
+            who = f" from ranks {self.posters}" if self.posters else ""
+            return (f"rank {self.rank}: wait({self.tag!r}, count={self.count}) "
+                    f"has {self.have} post(s){who} — "
+                    f"{self.count - self.have} will never arrive")
+        return (f"rank {self.rank}: barrier{self.group} arrived="
+                f"{self.arrived} — waiting for ranks {self.missing}")
+
+
 class DeadlockError(RuntimeError):
-    """No rank can make progress: a sync will never be satisfied."""
+    """No rank can make progress: a sync will never be satisfied.
+
+    ``blocked`` carries one :class:`BlockedInfo` per stuck rank, so
+    callers (and :mod:`repro.analysis`) can report which ranks are
+    parked on which tags or barrier groups.
+    """
+
+    def __init__(self, message: str, blocked: Sequence[BlockedInfo] = ()):
+        super().__init__(message)
+        self.blocked = tuple(blocked)
 
 
 @dataclass(frozen=True)
@@ -164,7 +206,7 @@ class RankCtx:
                                    nt=nt, concurrency=concurrency)
             self.clock += dt + eng.machine.op_overhead + extra_time
         eng._record(self, "copy", src.nbytes, src, dst, nt=nt, policy=policy,
-                    t0=t0)
+                    t0=t0, reads=(src,), writes=(dst,))
 
     def reduce_acc(self, dst: BufView, src: BufView, *, op: str = "sum",
                    nt: bool = False, concurrency=None) -> None:
@@ -197,7 +239,8 @@ class RankCtx:
             dt += eng.memsys.store(self.rank, dst.buf, dst.off, n, nt=nt,
                                    concurrency=concurrency)
             self.clock += dt + eng.machine.op_overhead
-        eng._record(self, kind, n, srcs[-1], dst, nt=nt, t0=t0)
+        eng._record(self, kind, n, srcs[-1], dst, nt=nt, t0=t0,
+                    reads=tuple(srcs), writes=(dst,))
 
     def compute(self, seconds: float) -> None:
         """Model a pure-compute region (used by the applications)."""
@@ -210,14 +253,28 @@ class RankCtx:
     def touch(self, view: BufView) -> None:
         """Load a view without copying (e.g. application reads a result)."""
         eng = self.engine
+        t0 = self.clock
         if eng.memsys is not None:
             self.clock += eng.memsys.load(self.rank, view.buf, view.off, view.nbytes)
+        eng._record(self, "touch", view.nbytes, view, None, t0=t0,
+                    reads=(view,))
 
     # ---- synchronization ---------------------------------------------------------
 
     def post(self, tag: object) -> None:
         """Signal ``tag`` (atomic flag update; non-blocking)."""
-        self.engine._posts.setdefault(tag, []).append((self.rank, self.clock))
+        eng = self.engine
+        seq = 0
+        if eng.trace is not None:
+            seq = eng.trace.next_seq()
+            eng.trace.add_event(
+                SyncEvent(seq=seq, rank=self.rank, kind="post", tag=tag)
+            )
+            eng.trace.add(
+                OpRecord(rank=self.rank, kind="post", nbytes=0, tag=tag,
+                         t_start=self.clock, t_end=self.clock)
+            )
+        eng._posts.setdefault(tag, []).append((self.rank, self.clock, seq))
 
     def wait(self, tag: object, count: int = 1) -> _Wait:
         """Event: block until ``count`` ranks have posted ``tag``."""
@@ -304,7 +361,8 @@ class Engine:
     # ---- tracing -----------------------------------------------------------------
 
     def _record(self, ctx: RankCtx, kind: str, nbytes: int, src=None, dst=None,
-                *, nt=None, policy: str = "", t0: float = 0.0) -> None:
+                *, nt=None, policy: str = "", t0: float = 0.0,
+                reads: tuple = (), writes: tuple = ()) -> None:
         if self.trace is None:
             return
         self.trace.add(
@@ -320,6 +378,25 @@ class Engine:
                 t_end=ctx.clock,
             )
         )
+        op_index = len(self.trace.records) - 1
+        for mode, views in (("r", reads), ("w", writes)):
+            for v in views:
+                if v.nbytes == 0:
+                    continue
+                self.trace.add_event(
+                    AccessEvent(
+                        seq=self.trace.next_seq(),
+                        rank=ctx.rank,
+                        mode=mode,
+                        buf_id=v.buf.buf_id,
+                        buf_name=v.buf.name,
+                        shared=v.buf.kind == "shared",
+                        off=v.off,
+                        nbytes=v.nbytes,
+                        op_kind=kind,
+                        op_index=op_index,
+                    )
+                )
 
     # ---- sync cost helpers -----------------------------------------------------------
 
@@ -360,6 +437,14 @@ class Engine:
         self._barrier_seq.clear()
         self._barrier_arrivals.clear()
         self._sync_count = 0
+        if self.trace is not None:
+            # Back-to-back collectives on one engine are separated by a
+            # global synchronization (the previous run drained fully);
+            # the marker lets the analyzer order cross-run accesses.
+            self.trace.add_event(
+                SyncEvent(seq=self.trace.next_seq(), rank=-1,
+                          kind="run_start", group=tuple(ranks))
+            )
 
         ctxs = {r: RankCtx(self, r) for r in ranks}
         if start_times is not None:
@@ -435,10 +520,26 @@ class Engine:
     def _release_wait(self, ctx: RankCtx, ev: _Wait) -> None:
         posts = self._posts[ev.tag][: ev.count]
         self._sync_count += 1
-        t = ctx.clock
-        for pr, pclock in posts:
+        t0 = ctx.clock
+        t = t0
+        for pr, pclock, _ in posts:
             t = max(t, pclock + self._pair_latency(pr, ctx.rank))
         ctx.clock = t
+        if self.trace is not None:
+            self.trace.add_event(
+                SyncEvent(
+                    seq=self.trace.next_seq(),
+                    rank=ctx.rank,
+                    kind="wait",
+                    tag=ev.tag,
+                    count=ev.count,
+                    matched=tuple(seq for _, _, seq in posts),
+                )
+            )
+            self.trace.add(
+                OpRecord(rank=ctx.rank, kind="wait", nbytes=0, tag=ev.tag,
+                         count=ev.count, t_start=t0, t_end=t)
+            )
 
     def _handle_event(self, r: int, ctx: RankCtx, ev, ctxs):
         """Returns (satisfied_for_r, ranks_released)."""
@@ -458,6 +559,22 @@ class Engine:
                 self._sync_count += 1
                 t = max(bucket.values()) + self._group_latency(ev.group)
                 released = []
+                if self.trace is not None:
+                    self.trace.add_event(
+                        SyncEvent(
+                            seq=self.trace.next_seq(),
+                            rank=r,
+                            kind="barrier",
+                            group=ev.group,
+                            matched=tuple(sorted(bucket)),
+                        )
+                    )
+                    for br in ev.group:
+                        self.trace.add(
+                            OpRecord(rank=br, kind="barrier", nbytes=0,
+                                     group=ev.group, t_start=bucket[br],
+                                     t_end=t)
+                        )
                 for br in ev.group:
                     ctxs[br].clock = t
                     if br != r:
@@ -468,11 +585,37 @@ class Engine:
         raise TypeError(f"rank {r} yielded a non-event: {ev!r}")
 
     def _diagnose_deadlock(self, blocked, ctxs):
-        lines = []
-        for r, ev in blocked.items():
+        infos = []
+        for r, ev in sorted(blocked.items()):
             if isinstance(ev, _Wait):
-                have = len(self._posts.get(ev.tag, ()))
-                lines.append(f"rank {r}: wait({ev.tag!r}, {ev.count}) has {have}")
+                posts = self._posts.get(ev.tag, ())
+                info = BlockedInfo(
+                    rank=r, kind="wait", tag=ev.tag, count=ev.count,
+                    have=len(posts),
+                    posters=tuple(pr for pr, _, _ in posts),
+                )
             else:
-                lines.append(f"rank {r}: barrier{ev.group}")
-        raise DeadlockError("simulation deadlock:\n  " + "\n  ".join(lines))
+                # the bucket this rank is parked in is its latest arrival
+                n = self._barrier_seq[(ev.group, r)] - 1
+                bucket = self._barrier_arrivals.get((ev.group, n), {})
+                info = BlockedInfo(
+                    rank=r, kind="barrier", group=ev.group,
+                    arrived=tuple(sorted(bucket)),
+                )
+            infos.append(info)
+            if self.trace is not None:
+                self.trace.add_event(
+                    SyncEvent(
+                        seq=self.trace.next_seq(), rank=r, kind="blocked",
+                        tag=getattr(ev, "tag", None),
+                        count=getattr(ev, "count", 0),
+                        group=getattr(ev, "group", ()),
+                        matched=info.posters or info.arrived,
+                        detail=info.describe(),
+                    )
+                )
+        raise DeadlockError(
+            f"simulation deadlock: {len(infos)} rank(s) blocked\n  "
+            + "\n  ".join(i.describe() for i in infos),
+            blocked=infos,
+        )

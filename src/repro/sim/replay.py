@@ -24,7 +24,17 @@ from typing import Optional
 from repro.sim.trace import OpRecord, Trace
 
 _FIELDS = ("rank", "kind", "nbytes", "src", "dst", "nt", "policy",
-           "t_start", "t_end")
+           "t_start", "t_end", "tag", "count", "group")
+
+#: fields whose values are (possibly nested) tuples — JSON turns them
+#: into lists, so loading re-tuples them to keep round trips lossless
+_TUPLE_FIELDS = ("tag", "group")
+
+
+def _retuple(value):
+    if isinstance(value, list):
+        return tuple(_retuple(v) for v in value)
+    return value
 
 
 def trace_to_json(trace: Trace, *, indent: Optional[int] = None) -> str:
@@ -50,6 +60,9 @@ def trace_from_json(text: str) -> Trace:
         unknown = set(rec) - set(_FIELDS)
         if unknown:
             raise ValueError(f"unknown trace fields {sorted(unknown)}")
+        for f in _TUPLE_FIELDS:
+            if f in rec:
+                rec[f] = _retuple(rec[f])
         trace.add(OpRecord(**rec))
     return trace
 
@@ -59,12 +72,14 @@ def schedule_signature(trace: Trace) -> dict:
 
     ``{rank: [(kind, nbytes, nt), ...]}`` — equal across runs whose
     *schedules* agree, regardless of machine constants.  ``compute``
-    records are excluded (their presence depends on app models, not the
-    collective schedule).
+    and ``touch`` records are excluded (their presence depends on app
+    models, not the collective schedule), as are the synchronization
+    records (``post``/``wait``/``barrier``) — the signature tracks data
+    movement only.
     """
     sig: dict[int, list] = {}
     for r in trace:
-        if r.kind == "compute":
+        if r.kind in ("compute", "touch") or r.is_sync:
             continue
         sig.setdefault(r.rank, []).append((r.kind, r.nbytes, bool(r.nt)))
     return sig

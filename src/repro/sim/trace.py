@@ -1,16 +1,29 @@
-"""Structured operation trace for debugging and DAV verification.
+"""Structured operation trace for debugging, DAV verification and
+happens-before analysis.
 
 Tracing is optional (off by default — the hot loops only pay an ``if``)
 but invaluable: the integration tests replay a collective with tracing
 on and check, operation by operation, that the schedule matches the
 paper's figures (e.g. Figure 6's step/slice/rank table for the
 movement-avoiding reduce-scatter).
+
+A trace carries two parallel streams:
+
+* ``records`` — one :class:`OpRecord` per engine operation (data *and*
+  synchronization), the per-rank schedule view consumed by the replay
+  and timeline tools;
+* ``events`` — fine-grained :class:`AccessEvent`/:class:`SyncEvent`
+  entries in global execution order, the input to
+  :mod:`repro.analysis`'s happens-before race detector.  Access events
+  name the exact buffer byte range each operation read or wrote; sync
+  events capture post/wait/barrier structure, including *which* posts a
+  wait matched — everything a vector-clock construction needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -18,8 +31,14 @@ class OpRecord:
     """One engine operation.
 
     ``kind`` is one of ``copy``, ``reduce_acc`` (``A += B``),
-    ``reduce_out`` (``C = A + B``), ``sync``, ``barrier``, ``compute``.
+    ``reduce_out`` (``C = A + B``), ``compute``, ``touch``, or a
+    synchronization kind: ``post``, ``wait``, ``barrier``.
     ``nt`` records whether a copy used a non-temporal store.
+
+    Synchronization records carry structured metadata instead of
+    abusing the ``src``/``dst`` strings: ``tag`` is the flag identity a
+    ``post``/``wait`` named, ``count`` the number of posts a ``wait``
+    required, and ``group`` the member tuple of a ``barrier``.
     """
 
     rank: int
@@ -31,10 +50,87 @@ class OpRecord:
     policy: str = ""
     t_start: float = 0.0
     t_end: float = 0.0
+    tag: object = None
+    count: int = 0
+    group: tuple = ()
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+    @property
+    def is_sync(self) -> bool:
+        return self.kind in ("post", "wait", "barrier")
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One byte-range access of a data operation.
+
+    ``mode`` is ``"r"`` or ``"w"``; ``op_index`` points back into
+    ``Trace.records`` (``-1`` when the operation was not recorded).
+    ``shared`` marks accesses to :class:`~repro.sim.buffers.SharedBuffer`
+    segments — the ranges cross-rank races live on.
+    """
+
+    seq: int
+    rank: int
+    mode: str
+    buf_id: int
+    buf_name: str
+    shared: bool
+    off: int
+    nbytes: int
+    op_kind: str
+    op_index: int = -1
+
+    @property
+    def end(self) -> int:
+        return self.off + self.nbytes
+
+    def describe(self) -> str:
+        rng = f"[{self.off}, {self.end})"
+        return (f"rank {self.rank} {self.op_kind} "
+                f"{'write' if self.mode == 'w' else 'read'} "
+                f"{self.buf_name}{rng} (op #{self.op_index})")
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One synchronization event, in global execution order.
+
+    ``kind``:
+
+    * ``"post"`` — rank published ``tag``;
+    * ``"wait"`` — rank's ``wait(tag, count)`` was released; ``matched``
+      holds the event seqs of the posts that satisfied it;
+    * ``"barrier"`` — a barrier on ``group`` completed (one event per
+      completion, emitted by the last arriver);
+    * ``"blocked"`` — the run deadlocked with this rank parked on the
+      described wait/barrier (a deadlock certificate);
+    * ``"run_start"`` — :meth:`Engine.run` began (separates back-to-back
+      collectives on one engine; acts as a global synchronization).
+    """
+
+    seq: int
+    rank: int
+    kind: str
+    tag: object = None
+    count: int = 0
+    group: tuple = ()
+    matched: tuple = ()
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "post":
+            return f"rank {self.rank} post({self.tag!r})"
+        if self.kind == "wait":
+            return f"rank {self.rank} wait({self.tag!r}, count={self.count})"
+        if self.kind == "barrier":
+            return f"barrier{self.group}"
+        if self.kind == "blocked":
+            return f"rank {self.rank} blocked: {self.detail}"
+        return self.kind
 
 
 class Trace:
@@ -42,9 +138,18 @@ class Trace:
 
     def __init__(self) -> None:
         self.records: list[OpRecord] = []
+        self.events: list = []  # AccessEvent | SyncEvent, execution order
+        self._seq = 0
 
     def add(self, rec: OpRecord) -> None:
         self.records.append(rec)
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def add_event(self, ev) -> None:
+        self.events.append(ev)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -57,6 +162,12 @@ class Trace:
 
     def by_kind(self, kind: str) -> list[OpRecord]:
         return [r for r in self.records if r.kind == kind]
+
+    def accesses(self) -> List[AccessEvent]:
+        return [e for e in self.events if isinstance(e, AccessEvent)]
+
+    def sync_events(self) -> List[SyncEvent]:
+        return [e for e in self.events if isinstance(e, SyncEvent)]
 
     def copy_bytes(self, *, nt: Optional[bool] = None) -> int:
         return sum(

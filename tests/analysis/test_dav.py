@@ -1,0 +1,65 @@
+"""DAV cross-check: traced volume vs Theorem 3.1 formulas."""
+
+import pytest
+
+from repro.analysis.dav import check_dav, predicted_dav, traced_dav
+from repro.collectives.common import run_reduce_collective
+from repro.collectives.ma import MA_ALLREDUCE
+from repro.models.dav import implementation_dav
+from repro.sim.engine import Engine
+from repro.sim.trace import OpRecord, Trace
+
+
+def _traced_run(p=6, s=4800):
+    eng = Engine(p, functional=True, trace=True)
+    run_reduce_collective(MA_ALLREDUCE, eng, s, imax=512)
+    return eng.trace, p, s
+
+
+def test_traced_dav_is_2copy_plus_3reduce():
+    trace = Trace()
+    trace.add(OpRecord(rank=0, kind="copy", nbytes=100))
+    trace.add(OpRecord(rank=1, kind="reduce_acc", nbytes=40))
+    trace.add(OpRecord(rank=1, kind="reduce_out", nbytes=10))
+    trace.add(OpRecord(rank=0, kind="touch", nbytes=999))  # not DAV
+    assert traced_dav(trace) == 2 * 100 + 3 * 50
+
+
+def test_ma_allreduce_matches_formula_exactly():
+    trace, p, s = _traced_run()
+    check = check_dav(trace, "allreduce", "ma", s, p)
+    assert check.status == "ok"
+    assert check.measured == implementation_dav("allreduce", "ma", s, p)
+
+
+def test_excess_movement_fails():
+    trace, p, s = _traced_run()
+    trace.add(OpRecord(rank=0, kind="copy", nbytes=64))  # redundant copy
+    check = check_dav(trace, "allreduce", "ma", s, p)
+    assert check.status == "fail"
+    assert not check.ok
+    assert "more than Theorem 3.1" in check.describe()
+
+
+def test_unknown_collective_is_skipped_not_passed():
+    trace, p, s = _traced_run()
+    check = check_dav(trace, "allreduce", "mystery", s, p)
+    assert check.status == "skipped"
+    assert check.ok  # skipped is not a failure
+    assert "no DAV model" in check.describe()
+    assert predicted_dav("allreduce", "mystery", s, p) is None
+
+
+def test_extra_formulas_cover_non_table_collectives():
+    assert predicted_dav("bcast", "", 1000, 8) == 16000
+    assert predicted_dav("allgather", "", 1000, 4) == 2 * 4000 + 2 * 16000
+    assert predicted_dav("reduce_scatter_v", "", 1000, 4) == 11000
+    assert predicted_dav("allgather_v", "", 1000, 4) == 10000
+
+
+@pytest.mark.parametrize("kind,alg", [
+    ("reduce_scatter", "ma"), ("allreduce", "ring"), ("reduce", "dpml"),
+])
+def test_predicted_matches_models_table(kind, alg):
+    assert predicted_dav(kind, alg, 4096, 8) == \
+        implementation_dav(kind, alg, 4096, 8)

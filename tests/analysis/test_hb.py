@@ -1,0 +1,192 @@
+"""Vector-clock construction and race detection unit tests."""
+
+from repro.analysis import analyze_trace
+from repro.analysis.hb import find_races, race_check, stamp_accesses
+from repro.sim.engine import Engine
+
+
+def _two_rank_engine():
+    eng = Engine(2, functional=True, trace=True)
+    shm = eng.alloc_shared(128, name="win")
+    priv = [eng.alloc(r, 128, fill=float(r), name=f"b[{r}]")
+            for r in range(2)]
+    return eng, shm, priv
+
+
+class TestOrdering:
+    def test_post_wait_orders_accesses(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(0, 64), priv[0].view(0, 64))
+                ctx.post(("ready",))
+            else:
+                yield ctx.wait(("ready",), 1)
+                ctx.copy(priv[1].view(0, 64), shm.view(0, 64))
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 0 and not races
+
+    def test_missing_wait_is_a_race(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(0, 64), priv[0].view(0, 64))
+            else:
+                ctx.copy(priv[1].view(0, 64), shm.view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 1
+        (race,) = races
+        assert race.kind == "read-write"
+        assert race.buf_name == "win"
+        assert race.overlap == (0, 64)
+        assert {race.first.rank, race.second.rank} == {0, 1}
+        assert "win[0, 64)" in race.describe()
+
+    def test_barrier_orders_accesses(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(0, 64), priv[0].view(0, 64))
+            yield ctx.barrier()
+            if ctx.rank == 1:
+                ctx.copy(priv[1].view(0, 64), shm.view(0, 64))
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 0 and not races
+
+    def test_run_boundary_is_global_sync(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def writer(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(0, 64), priv[0].view(0, 64))
+            return
+            yield
+
+        def reader(ctx):
+            if ctx.rank == 1:
+                ctx.copy(priv[1].view(0, 64), shm.view(0, 64))
+            return
+            yield
+
+        eng.run(writer)
+        eng.run(reader)  # separate run: the boundary orders the accesses
+        races, total = race_check(eng.trace, 2)
+        assert total == 0
+
+
+class TestConflictRules:
+    def test_concurrent_reads_are_not_a_race(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            ctx.copy(priv[ctx.rank].view(0, 64), shm.view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 0
+
+    def test_disjoint_ranges_are_not_a_race(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            off = ctx.rank * 64
+            ctx.copy(shm.view(off, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 0
+
+    def test_unordered_write_write_flagged(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            ctx.copy(shm.view(32, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2)
+        assert total == 1
+        assert races[0].kind == "write-write"
+        assert races[0].overlap == (32, 96)
+
+    def test_partial_overlap_reported_exactly(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(0, 64), priv[0].view(0, 64))
+            else:
+                ctx.copy(shm.view(48, 64), priv[1].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, _ = race_check(eng.trace, 2)
+        assert races[0].overlap == (48, 64)
+
+
+class TestReporting:
+    def test_max_reports_caps_reporting_not_counting(self):
+        eng = Engine(2, functional=True, trace=True)
+        shm = eng.alloc_shared(512, name="win")
+        priv = [eng.alloc(r, 512, fill=0.0, name=f"b[{r}]")
+                for r in range(2)]
+
+        def prog(ctx):
+            for i in range(8):
+                ctx.copy(shm.view(i * 64, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2, max_reports=3)
+        assert len(races) == 3
+        assert total > 3
+
+    def test_analyze_trace_surfaces_races(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            ctx.copy(shm.view(0, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        report = analyze_trace(eng.trace, 2)
+        assert not report.ok
+        assert report.total_races == 1
+        assert "race" in report.describe()
+
+    def test_stamp_accesses_snapshots_monotone_per_rank(self):
+        eng, shm, priv = _two_rank_engine()
+
+        def prog(ctx):
+            ctx.copy(shm.view(ctx.rank * 64, 64), priv[ctx.rank].view(0, 64))
+            yield ctx.barrier()
+            ctx.copy(priv[ctx.rank].view(0, 64), shm.view(ctx.rank * 64, 64))
+
+        eng.run(prog)
+        stamped = stamp_accesses(eng.trace.events, 2)
+        for rank in (0, 1):
+            own = [sa.snapshot[rank] for sa in stamped
+                   if sa.event.rank == rank]
+            assert own == sorted(own)
+
+    def test_find_races_empty_input(self):
+        assert find_races([]) == ([], 0)

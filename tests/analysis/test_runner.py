@@ -1,0 +1,72 @@
+"""Analysis runner matrix and the ``python -m repro analyze`` CLI."""
+
+import pytest
+
+from repro.analysis.runner import (
+    analyze_collective,
+    collectives,
+    render_results,
+)
+from repro.__main__ import main
+from repro.machine.spec import PRESETS
+
+
+class TestMatrix:
+    def test_registry_covers_issue_matrix(self):
+        names = set(collectives())
+        assert {"ma", "ring", "rabenseifner", "rg", "dpml", "socket_aware",
+                "bcast", "allgather", "ordered", "vector"} <= names
+
+    @pytest.mark.parametrize("name", ["ma", "ring", "bcast", "vector"])
+    def test_collective_analyzes_clean(self, name):
+        results = analyze_collective(name, nranks=4, s=2048)
+        assert results
+        for res in results:
+            assert res.ok, f"{res.case.label}:\n{res.report.describe()}"
+
+    def test_all_sweeps_whole_matrix(self):
+        results = analyze_collective("all", nranks=4, s=2048)
+        assert len(results) >= 20
+        assert all(r.ok for r in results)
+
+    def test_machine_preset_run(self):
+        results = analyze_collective("socket_aware",
+                                     machine=PRESETS["NodeB"],
+                                     nranks=6, s=2048)
+        assert all(r.ok for r in results)
+
+    def test_schedule_seed_still_clean(self):
+        results = analyze_collective("rg", nranks=5, s=2048,
+                                     schedule_seed=1234)
+        assert all(r.ok for r in results)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            analyze_collective("nosuch")
+
+    def test_render_mentions_every_case(self):
+        results = analyze_collective("ma", nranks=4, s=2048)
+        text = render_results(results)
+        for res in results:
+            assert res.case.label in text
+        assert "0 failing" in text
+
+
+class TestCLI:
+    def test_analyze_clean_exit_zero(self, capsys):
+        rc = main(["analyze", "ma", "-n", "4", "-s", "2048"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[OK] ma/allreduce" in out
+        assert "functional" in out
+
+    def test_analyze_machine_preset(self, capsys):
+        rc = main(["analyze", "bcast", "-n", "4", "-s", "2048",
+                   "--machine", "NodeB"])
+        assert rc == 0
+        assert "NodeB" in capsys.readouterr().out
+
+    def test_analyze_unknown_collective_exit_two(self, capsys):
+        rc = main(["analyze", "nosuch"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err

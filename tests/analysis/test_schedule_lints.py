@@ -1,0 +1,164 @@
+"""Schedule lints: deadlock certificates, tag reuse, barrier mismatch,
+slot-overwrite classification."""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.analysis.schedule import lint_schedule
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.trace import SyncEvent, Trace
+
+
+class TestDeadlockCertificates:
+    def test_unsatisfiable_wait_produces_certificate(self):
+        eng = Engine(3, functional=True, trace=True)
+
+        def prog(ctx):
+            if ctx.rank == 2:
+                yield ctx.wait(("ghost", 7), 1)
+
+        with pytest.raises(DeadlockError):
+            eng.run(prog)
+        report = analyze_trace(eng.trace, 3)
+        assert not report.ok
+        (cert,) = report.deadlocks
+        assert cert.rank == 2
+        assert cert.tag == ("ghost", 7)
+        assert "ghost" in cert.message and "never arrive" in cert.message
+
+    def test_underposted_wait_counts_missing_posts(self):
+        eng = Engine(4, functional=True, trace=True)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.post(("flag",))
+            elif ctx.rank == 3:
+                yield ctx.wait(("flag",), 3)
+
+        with pytest.raises(DeadlockError) as exc:
+            eng.run(prog)
+        (blocked,) = exc.value.blocked
+        assert blocked.rank == 3
+        assert blocked.have == 1 and blocked.count == 3
+        assert blocked.posters == (0,)
+        (cert,) = analyze_trace(eng.trace, 4).deadlocks
+        assert "1 post(s)" in cert.message
+
+    def test_partial_barrier_names_missing_ranks(self):
+        eng = Engine(3, functional=True, trace=True)
+
+        def prog(ctx):
+            if ctx.rank != 1:
+                yield ctx.barrier()
+
+        with pytest.raises(DeadlockError) as exc:
+            eng.run(prog)
+        assert len(exc.value.blocked) == 2
+        for b in exc.value.blocked:
+            assert b.kind == "barrier"
+            assert 1 not in b.arrived
+        certs = analyze_trace(eng.trace, 3).deadlocks
+        assert len(certs) == 2
+        assert all("waiting for ranks" in c.message for c in certs)
+
+
+class TestTagReuse:
+    def test_reposted_tag_after_release_flagged(self):
+        eng = Engine(2, functional=True, trace=True)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.post(("flag",))
+                yield ctx.barrier()
+                ctx.post(("flag",))  # recycled: wait already released
+            else:
+                yield ctx.wait(("flag",), 1)
+                yield ctx.barrier()
+
+        eng.run(prog)
+        issues = lint_schedule(eng.trace, 2)
+        reuse = [i for i in issues if i.kind == "tag-reuse"]
+        assert len(reuse) == 1
+        assert reuse[0].tag == ("flag",)
+        assert "unique per step" in reuse[0].message
+
+    def test_fresh_tags_per_step_clean(self):
+        eng = Engine(2, functional=True, trace=True)
+
+        def prog(ctx):
+            for step in range(3):
+                if ctx.rank == 0:
+                    ctx.post(("flag", step))
+                else:
+                    yield ctx.wait(("flag", step), 1)
+            if ctx.rank == 0:
+                yield ctx.barrier()
+            else:
+                yield ctx.barrier()
+
+        eng.run(prog)
+        assert lint_schedule(eng.trace, 2) == []
+
+    def test_run_boundary_resets_tag_tracking(self):
+        eng = Engine(2, functional=True, trace=True)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.post(("flag",))
+            else:
+                yield ctx.wait(("flag",), 1)
+
+        eng.run(prog)
+        eng.run(prog)  # same tag, new run: engine cleared posts
+        assert lint_schedule(eng.trace, 2) == []
+
+
+class TestBarrierMismatch:
+    def test_overlapping_groups_reported(self):
+        eng = Engine(3, functional=True, trace=True)
+
+        def prog(ctx):
+            # ranks 0 and 1 each wait on a barrier containing the other,
+            # but they named different groups: both block forever
+            if ctx.rank == 0:
+                yield ctx.barrier((0, 1))
+            elif ctx.rank == 1:
+                yield ctx.barrier((1, 2))
+
+        with pytest.raises(DeadlockError):
+            eng.run(prog)
+        issues = lint_schedule(eng.trace, 3)
+        mism = [i for i in issues if i.kind == "barrier-group-mismatch"]
+        assert mism
+        assert "overlap" in mism[0].message
+
+
+class TestTraceIntegrity:
+    def test_truncated_trace_unmatched_post_ref(self):
+        trace = Trace()
+        trace.add_event(SyncEvent(seq=5, rank=1, kind="wait",
+                                  tag=("x",), count=1, matched=(3,)))
+        issues = lint_schedule(trace, 2)
+        assert [i.kind for i in issues] == ["unmatched-post-ref"]
+        assert "truncated" in issues[0].message
+
+
+class TestSlotOverwrite:
+    def test_write_after_unordered_read_classified(self):
+        eng = Engine(2, functional=True, trace=True)
+        shm = eng.alloc_shared(64, name="win")
+        priv = [eng.alloc(r, 64, fill=1.0, name=f"b[{r}]") for r in range(2)]
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(priv[0].view(0, 64), shm.view(0, 64))
+            else:
+                ctx.copy(shm.view(0, 64), priv[1].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        report = analyze_trace(eng.trace, 2)
+        slots = [i for i in report.issues if i.kind == "slot-overwrite"]
+        assert len(slots) == 1
+        assert "consumed flag" in slots[0].message

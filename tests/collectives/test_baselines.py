@@ -5,14 +5,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collectives.baselines import (
-    CMAAllgather,
     CMABcast,
     CMARingAllreduce,
-    CMARingReduceScatter,
     MPICHAllreduce,
     XPMEMAllreduce,
-    XPMEMBcast,
-    XPMEMReduce,
     XPMEMReduceScatter,
     make_vendor_suites,
 )

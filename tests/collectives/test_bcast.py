@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.collectives.bcast import PIPELINED_BCAST, PipelinedBcast
+from repro.collectives.bcast import PIPELINED_BCAST
 from repro.collectives.common import make_env, run_bcast_collective
 from repro.sim.engine import Engine
 

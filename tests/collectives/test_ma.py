@@ -1,7 +1,6 @@
 """Movement-avoiding collective tests: functional correctness across
 shapes, DAV exactness, schedule structure (Figure 6) and sync counts."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.collectives.common import make_env, run_reduce_collective
+from repro.collectives.common import run_reduce_collective
 from repro.collectives.ma import MA_ALLREDUCE
 from repro.collectives.ops import (
     ReduceOp,

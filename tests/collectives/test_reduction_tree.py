@@ -9,7 +9,6 @@ from repro.collectives.reduction_tree import (
     ReductionTree,
     RNode,
     SliceRef,
-    SlicedReductionAlgorithm,
     dpml_algorithm,
     dpml_tree,
     enumerate_trees,

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collectives.vector import (
-    MAReduceScatterV,
     counts_to_partition,
     run_allgather_v,
     run_reduce_scatter_v,

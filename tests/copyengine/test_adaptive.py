@@ -3,7 +3,7 @@
 import pytest
 
 from repro.copyengine.adaptive import AdaptiveCopy, adaptive_copy
-from repro.machine.spec import NODE_A, NODE_B, available_cache_capacity, KB, MB
+from repro.machine.spec import NODE_A, NODE_B, available_cache_capacity, KB
 from repro.sim.engine import Engine
 
 from tests.conftest import TINY

@@ -7,7 +7,6 @@ slip, mis-sized copy, or duplicated/missing operation in any algorithm
 breaks an equality here.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collectives.common import run_reduce_collective

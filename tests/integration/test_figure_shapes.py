@@ -11,10 +11,9 @@ import pytest
 from repro.library.communicator import Communicator
 from repro.library.mpi import MPILibrary
 from repro.library.yhccl import YHCCL
-from repro.machine.spec import NODE_A, KB, MB
+from repro.machine.spec import NODE_A, MB
 from repro.collectives.common import run_reduce_collective
 from repro.collectives.dpml import DPML_REDUCE_SCATTER
-from repro.collectives.ma import MA_REDUCE_SCATTER
 from repro.collectives.socket_aware import SOCKET_MA_REDUCE_SCATTER
 from repro.sim.engine import Engine
 

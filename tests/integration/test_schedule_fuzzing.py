@@ -6,12 +6,19 @@ protected by flags/barriers produces bit-identical results under every
 schedule; a missing synchronization shows up as a divergent result (or
 a deadlock).  This is the closest a deterministic simulator gets to a
 race detector — and it exercised real bugs during development.
+
+Every fuzzed run is additionally handed to
+:func:`repro.analysis.analyze_trace`: the happens-before race detector
+must certify the schedule has *no* unordered conflicting accesses under
+any interleaving, not merely that this particular interleaving produced
+the right bytes.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import analyze_trace
 from repro.collectives.allgather import PIPELINED_ALLGATHER
 from repro.collectives.bcast import PIPELINED_BCAST
 from repro.collectives.common import (
@@ -37,10 +44,18 @@ FUZZ_TARGETS = [
 ]
 
 
+def _assert_clean(eng):
+    report = analyze_trace(eng.trace, eng.nranks)
+    assert report.ok, report.describe()
+
+
 def _result_of(alg, schedule_seed, p=5, s=4096):
-    eng = Engine(p, functional=True, seed=7, schedule_seed=schedule_seed)
+    eng = Engine(p, functional=True, seed=7, schedule_seed=schedule_seed,
+                 trace=True)
     run_reduce_collective(alg, eng, s, imax=512)
-    # the runner verifies against the oracle; also capture raw bytes
+    # the runner verifies against the oracle; the analyzer proves the
+    # schedule sound under *every* interleaving, not just this one
+    _assert_clean(eng)
     return True
 
 
@@ -57,13 +72,17 @@ class TestScheduleInvariance:
 
     @pytest.mark.parametrize("schedule_seed", [1, 5, 11])
     def test_bcast_schedule_invariant(self, schedule_seed):
-        eng = Engine(5, functional=True, schedule_seed=schedule_seed)
+        eng = Engine(5, functional=True, schedule_seed=schedule_seed,
+                     trace=True)
         run_bcast_collective(PIPELINED_BCAST, eng, 4096, imax=512)
+        _assert_clean(eng)
 
     @pytest.mark.parametrize("schedule_seed", [1, 5, 11])
     def test_allgather_schedule_invariant(self, schedule_seed):
-        eng = Engine(5, functional=True, schedule_seed=schedule_seed)
+        eng = Engine(5, functional=True, schedule_seed=schedule_seed,
+                     trace=True)
         run_allgather_collective(PIPELINED_ALLGATHER, eng, 2048, imax=512)
+        _assert_clean(eng)
 
     @given(
         alg_idx=st.integers(0, len(FUZZ_TARGETS) - 1),
@@ -74,9 +93,10 @@ class TestScheduleInvariance:
     @settings(max_examples=40, deadline=None)
     def test_property_fuzz(self, alg_idx, schedule_seed, p, s_units):
         eng = Engine(p, functional=True, seed=3,
-                     schedule_seed=schedule_seed)
+                     schedule_seed=schedule_seed, trace=True)
         run_reduce_collective(FUZZ_TARGETS[alg_idx], eng, 8 * s_units,
                               imax=256)
+        _assert_clean(eng)
 
     def test_bitwise_identical_across_schedules(self):
         """Same inputs, different schedules -> byte-identical output."""

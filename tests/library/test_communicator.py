@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.library.communicator import Communicator
-from repro.machine.spec import NODE_A
 
 from tests.conftest import TINY
 

@@ -1,7 +1,5 @@
 """Report builder tests."""
 
-from pathlib import Path
-
 import pytest
 
 from repro.reporting import build_report, collect_sections, write_report

@@ -7,7 +7,6 @@ from repro.machine.spec import (
     NODE_A,
     NODE_B,
     CacheSpec,
-    MachineSpec,
     SocketSpec,
     available_cache_capacity,
     GB_S,
