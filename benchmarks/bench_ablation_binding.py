@@ -16,7 +16,11 @@ from repro.collectives.socket_aware import SOCKET_MA_ALLREDUCE
 from repro.machine.spec import KB, MB, NODE_A
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="ablation_binding", custom="run_ablation")
 
 SIZES = [64 * KB, 1 * MB, 16 * MB]
 BINDINGS = ["compact", "scatter"]

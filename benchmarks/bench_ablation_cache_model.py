@@ -11,7 +11,11 @@ import pytest
 from repro.machine.cache import AccessResult, RegionCache, SetAssociativeCache
 from repro.machine.interval_cache import IntervalCache
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="ablation_cache_model", custom="run_ablation")
 
 KB = 1024
 

@@ -15,7 +15,11 @@ from repro.collectives.ma import MA_ALLREDUCE
 from repro.machine.spec import KB, MB, NODE_A
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="ablation_slice", custom="run_ablation")
 
 IMAXES = [4 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB]
 S = 256 * MB

@@ -15,7 +15,11 @@ from repro.collectives.socket_aware import SOCKET_MA_ALLREDUCE
 from repro.machine.spec import KB, MB, NODE_A, NODE_D
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="ablation_sockets", custom="run_ablation")
 
 SIZES = [64 * KB, 1 * MB, 16 * MB]
 MACHINES = [("NodeA (m=2)", NODE_A), ("NodeD (m=4)", NODE_D)]

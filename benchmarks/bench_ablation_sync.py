@@ -17,7 +17,11 @@ from repro.collectives.ma import MA_ALLREDUCE
 from repro.machine.spec import KB, NODE_A, US
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="ablation_sync", custom="run_ablation")
 
 LATENCIES_US = [0.2, 0.6, 1.5, 4.0]
 S = 64 * KB  # sync-bound message size

@@ -15,7 +15,11 @@ from repro.library.tuner import Tuner
 from repro.library.yhccl import YHCCL
 from repro.machine.spec import KB, MB, NODE_A
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="ablation_tuning", custom="run_ablation")
 
 SIZES = [16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB, 64 * MB]
 

@@ -17,10 +17,13 @@ cliff, is identical.
 
 import pytest
 
+from repro.bench import Benchmark
 from repro.copyengine.stream import SlicedCopyBenchmark
 from repro.machine.spec import GB, KB, MB, NODE_A
 
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="fig03_copyout", custom="run_figure")
 
 SLICES = [256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB]
 PROFILES = {

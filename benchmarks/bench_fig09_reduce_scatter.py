@@ -11,34 +11,42 @@ gives it the edge on small messages.
 
 import pytest
 
-from repro.collectives.dpml import DPML_REDUCE_SCATTER
-from repro.collectives.ma import MA_REDUCE_SCATTER
-from repro.collectives.rabenseifner import RABENSEIFNER_REDUCE_SCATTER
-from repro.collectives.ring import RING_REDUCE_SCATTER
-from repro.collectives.socket_aware import SOCKET_MA_REDUCE_SCATTER
+from repro.bench import Benchmark, SweepSpec, reduce_spec
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import MB
 
-from harness import NODE_CONFIGS, SIZES_LARGE, sweep
-from runners import reduce_runner
+from harness import NODE_CONFIGS, SIZES_LARGE
+
+
+def _sweep(node: str) -> SweepSpec:
+    _, p = NODE_CONFIGS[node]
+    return SweepSpec(
+        name=f"fig09_reduce_scatter_{node}",
+        title=f"Figure 9{'a' if node == 'NodeA' else 'b'}: reduce-scatter "
+              f"comparison ({node}, p={p})",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES_LARGE),
+        impls=(
+            ("Socket-aware MA (ours)",
+             reduce_spec("socket-ma", "reduce_scatter", "adaptive")),
+            ("MA (ours)", reduce_spec("ma", "reduce_scatter", "adaptive")),
+            ("DPML", reduce_spec("dpml", "reduce_scatter")),
+            ("Ring", reduce_spec("ring", "reduce_scatter")),
+            ("Rabenseifner", reduce_spec("rabenseifner", "reduce_scatter")),
+        ),
+        baseline="Socket-aware MA (ours)",
+    )
+
+
+BENCH = Benchmark(
+    name="fig09_reduce_scatter",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
 
 
 def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    runners = {
-        "Socket-aware MA (ours)": reduce_runner(
-            SOCKET_MA_REDUCE_SCATTER, "adaptive"
-        ),
-        "MA (ours)": reduce_runner(MA_REDUCE_SCATTER, "adaptive"),
-        "DPML": reduce_runner(DPML_REDUCE_SCATTER),
-        "Ring": reduce_runner(RING_REDUCE_SCATTER),
-        "Rabenseifner": reduce_runner(RABENSEIFNER_REDUCE_SCATTER),
-    }
-    return sweep(
-        f"Figure 9{'a' if node == 'NodeA' else 'b'}: reduce-scatter "
-        f"comparison ({node}, p={p})",
-        machine, p, SIZES_LARGE, runners,
-        baseline="Socket-aware MA (ours)",
-    )
+    return run_sweep_table(BENCH.sweep(f"fig09_reduce_scatter_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

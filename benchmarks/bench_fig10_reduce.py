@@ -8,30 +8,42 @@ on 64–256 KB.
 
 import pytest
 
-from repro.collectives.dpml import DPML_REDUCE
-from repro.collectives.ma import MA_REDUCE
-from repro.collectives.rg import RGReduce
-from repro.collectives.socket_aware import SOCKET_MA_REDUCE
+from repro.bench import Benchmark, SweepSpec, reduce_spec
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 
-from harness import NODE_CONFIGS, SIZES_LARGE, sweep
-from runners import reduce_runner
+from harness import NODE_CONFIGS, SIZES_LARGE
+
+
+def _sweep(node: str) -> SweepSpec:
+    _, p = NODE_CONFIGS[node]
+    return SweepSpec(
+        name=f"fig10_reduce_{node}",
+        title=f"Figure 10{'a' if node == 'NodeA' else 'b'}: reduce "
+              f"comparison ({node}, p={p})",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES_LARGE),
+        impls=(
+            ("Socket-aware MA (ours)",
+             reduce_spec("socket-ma", "reduce", "adaptive")),
+            ("MA (ours)", reduce_spec("ma", "reduce", "adaptive")),
+            ("DPML", reduce_spec("dpml", "reduce")),
+            ("RG", reduce_spec("rg", "reduce", branch=2,
+                               slice_size=128 * KB)),
+        ),
+        baseline="Socket-aware MA (ours)",
+    )
+
+
+BENCH = Benchmark(
+    name="fig10_reduce",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
 
 
 def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    runners = {
-        "Socket-aware MA (ours)": reduce_runner(SOCKET_MA_REDUCE, "adaptive"),
-        "MA (ours)": reduce_runner(MA_REDUCE, "adaptive"),
-        "DPML": reduce_runner(DPML_REDUCE),
-        "RG": reduce_runner(RGReduce(branch=2, slice_size=128 * KB)),
-    }
-    return sweep(
-        f"Figure 10{'a' if node == 'NodeA' else 'b'}: reduce comparison "
-        f"({node}, p={p})",
-        machine, p, SIZES_LARGE, runners,
-        baseline="Socket-aware MA (ours)",
-    )
+    return run_sweep_table(BENCH.sweep(f"fig10_reduce_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

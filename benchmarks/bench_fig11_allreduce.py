@@ -7,35 +7,44 @@ Rabenseifner (logarithmic steps) lead below ~128 KB.
 
 import pytest
 
-from repro.collectives.dpml import DPML_ALLREDUCE
-from repro.collectives.ma import MA_ALLREDUCE
-from repro.collectives.rabenseifner import RABENSEIFNER_ALLREDUCE
-from repro.collectives.rg import RGAllreduce
-from repro.collectives.ring import RING_ALLREDUCE
-from repro.collectives.socket_aware import SOCKET_MA_ALLREDUCE
+from repro.bench import Benchmark, SweepSpec, reduce_spec
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 
-from harness import NODE_CONFIGS, SIZES_LARGE, sweep
-from runners import reduce_runner
+from harness import NODE_CONFIGS, SIZES_LARGE
+
+
+def _sweep(node: str) -> SweepSpec:
+    _, p = NODE_CONFIGS[node]
+    return SweepSpec(
+        name=f"fig11_allreduce_{node}",
+        title=f"Figure 11{'a' if node == 'NodeA' else 'b'}: all-reduce "
+              f"comparison ({node}, p={p})",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES_LARGE),
+        impls=(
+            ("Socket-aware MA (ours)",
+             reduce_spec("socket-ma", "allreduce", "adaptive")),
+            ("MA (ours)", reduce_spec("ma", "allreduce", "adaptive")),
+            ("DPML", reduce_spec("dpml", "allreduce")),
+            ("RG", reduce_spec("rg", "allreduce", branch=2,
+                               slice_size=128 * KB)),
+            ("Ring", reduce_spec("ring", "allreduce")),
+            ("Rabenseifner", reduce_spec("rabenseifner", "allreduce")),
+        ),
+        baseline="Socket-aware MA (ours)",
+    )
+
+
+BENCH = Benchmark(
+    name="fig11_allreduce",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
 
 
 def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    runners = {
-        "Socket-aware MA (ours)": reduce_runner(SOCKET_MA_ALLREDUCE,
-                                                "adaptive"),
-        "MA (ours)": reduce_runner(MA_ALLREDUCE, "adaptive"),
-        "DPML": reduce_runner(DPML_ALLREDUCE),
-        "RG": reduce_runner(RGAllreduce(branch=2, slice_size=128 * KB)),
-        "Ring": reduce_runner(RING_ALLREDUCE),
-        "Rabenseifner": reduce_runner(RABENSEIFNER_ALLREDUCE),
-    }
-    return sweep(
-        f"Figure 11{'a' if node == 'NodeA' else 'b'}: all-reduce "
-        f"comparison ({node}, p={p})",
-        machine, p, SIZES_LARGE, runners,
-        baseline="Socket-aware MA (ours)",
-    )
+    return run_sweep_table(BENCH.sweep(f"fig11_allreduce_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

@@ -13,28 +13,44 @@ on the socket-aware MA all-reduce.  Paper shape:
 
 import pytest
 
-from repro.collectives.socket_aware import SOCKET_MA_ALLREDUCE
+from repro.bench import Benchmark, SweepSpec, reduce_spec
+from repro.bench.registry import platform_imax
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 from repro.models.nt_model import nt_switch_message_size
 
-from harness import NODE_CONFIGS, SIZES_LARGE, sweep
-from runners import platform_imax, reduce_runner
+from harness import NODE_CONFIGS, SIZES_LARGE
+
+
+def _sweep(node: str) -> SweepSpec:
+    machine, p = NODE_CONFIGS[node]
+    imax = platform_imax(machine)
+    return SweepSpec(
+        name=f"fig12_adaptive_allreduce_{node}",
+        title=f"Figure 12{'a' if node == 'NodeA' else 'b'}: adaptive "
+              f"all-reduce ({node}, p={p}, Imax={imax // KB}KB)",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES_LARGE),
+        impls=tuple(
+            (label, reduce_spec("socket-ma", "allreduce", policy, imax=imax))
+            for label, policy in (
+                ("YHCCL", "adaptive"), ("t-copy", "t"),
+                ("nt-copy", "nt"), ("Memmove", "memmove"),
+            )
+        ),
+        baseline="YHCCL",
+    )
+
+
+BENCH = Benchmark(
+    name="fig12_adaptive_allreduce",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
 
 
 def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    imax = platform_imax(machine)
-    runners = {
-        "YHCCL": reduce_runner(SOCKET_MA_ALLREDUCE, "adaptive", imax=imax),
-        "t-copy": reduce_runner(SOCKET_MA_ALLREDUCE, "t", imax=imax),
-        "nt-copy": reduce_runner(SOCKET_MA_ALLREDUCE, "nt", imax=imax),
-        "Memmove": reduce_runner(SOCKET_MA_ALLREDUCE, "memmove", imax=imax),
-    }
-    return sweep(
-        f"Figure 12{'a' if node == 'NodeA' else 'b'}: adaptive all-reduce "
-        f"({node}, p={p}, Imax={imax // KB}KB)",
-        machine, p, SIZES_LARGE, runners, baseline="YHCCL",
-    )
+    return run_sweep_table(BENCH.sweep(f"fig12_adaptive_allreduce_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

@@ -8,30 +8,45 @@ large; YHCCL matches the winner everywhere; ~29% peak gain vs memmove
 
 import pytest
 
-from repro.collectives.bcast import PIPELINED_BCAST
+from repro.bench import Benchmark, SweepSpec, bcast_spec
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 from repro.models.nt_model import nt_switch_message_size
 
-from harness import NODE_CONFIGS, SIZES_LARGE, sweep
-from runners import bcast_runner
+from harness import NODE_CONFIGS, SIZES_LARGE
 
 IMAX = 1 * MB
 SIZES = [16 * KB, 32 * KB] + SIZES_LARGE
 
 
-def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    runners = {
-        "YHCCL": bcast_runner(PIPELINED_BCAST, "adaptive", imax=IMAX),
-        "t-copy": bcast_runner(PIPELINED_BCAST, "t", imax=IMAX),
-        "nt-copy": bcast_runner(PIPELINED_BCAST, "nt", imax=IMAX),
-        "Memmove": bcast_runner(PIPELINED_BCAST, "memmove", imax=IMAX),
-    }
-    return sweep(
-        f"Figure 13{'a' if node == 'NodeA' else 'b'}: adaptive broadcast "
-        f"({node}, p={p}, Imax=1MB)",
-        machine, p, SIZES, runners, baseline="YHCCL",
+def _sweep(node: str) -> SweepSpec:
+    _, p = NODE_CONFIGS[node]
+    return SweepSpec(
+        name=f"fig13_adaptive_bcast_{node}",
+        title=f"Figure 13{'a' if node == 'NodeA' else 'b'}: adaptive "
+              f"broadcast ({node}, p={p}, Imax=1MB)",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES),
+        impls=tuple(
+            (label, bcast_spec("pipelined", policy, imax=IMAX))
+            for label, policy in (
+                ("YHCCL", "adaptive"), ("t-copy", "t"),
+                ("nt-copy", "nt"), ("Memmove", "memmove"),
+            )
+        ),
+        baseline="YHCCL",
     )
+
+
+BENCH = Benchmark(
+    name="fig13_adaptive_bcast",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
+
+
+def run_figure(node: str):
+    return run_sweep_table(BENCH.sweep(f"fig13_adaptive_bcast_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

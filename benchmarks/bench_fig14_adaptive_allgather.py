@@ -8,30 +8,44 @@ win over memmove on large messages.
 
 import pytest
 
-from repro.collectives.allgather import PIPELINED_ALLGATHER
+from repro.bench import Benchmark, SweepSpec, allgather_spec
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 from repro.models.nt_model import nt_switch_message_size
 
-from harness import NODE_CONFIGS, SIZES_ALLGATHER, fmt_size, sweep
-from runners import allgather_runner
+from harness import NODE_CONFIGS, SIZES_ALLGATHER, fmt_size
 
 IMAX = 1 * MB
 
 
-def run_figure(node: str):
-    machine, p = NODE_CONFIGS[node]
-    runners = {
-        "YHCCL": allgather_runner(PIPELINED_ALLGATHER, "adaptive", imax=IMAX),
-        "t-copy": allgather_runner(PIPELINED_ALLGATHER, "t", imax=IMAX),
-        "nt-copy": allgather_runner(PIPELINED_ALLGATHER, "nt", imax=IMAX),
-        "Memmove": allgather_runner(PIPELINED_ALLGATHER, "memmove",
-                                    imax=IMAX),
-    }
-    return sweep(
-        f"Figure 14{'a' if node == 'NodeA' else 'b'}: adaptive all-gather "
-        f"({node}, p={p}, Imax=1MB)",
-        machine, p, SIZES_ALLGATHER, runners, baseline="YHCCL",
+def _sweep(node: str) -> SweepSpec:
+    _, p = NODE_CONFIGS[node]
+    return SweepSpec(
+        name=f"fig14_adaptive_allgather_{node}",
+        title=f"Figure 14{'a' if node == 'NodeA' else 'b'}: adaptive "
+              f"all-gather ({node}, p={p}, Imax=1MB)",
+        machine=node,
+        p=p,
+        sizes=tuple(SIZES_ALLGATHER),
+        impls=tuple(
+            (label, allgather_spec("pipelined", policy, imax=IMAX))
+            for label, policy in (
+                ("YHCCL", "adaptive"), ("t-copy", "t"),
+                ("nt-copy", "nt"), ("Memmove", "memmove"),
+            )
+        ),
+        baseline="YHCCL",
     )
+
+
+BENCH = Benchmark(
+    name="fig14_adaptive_allgather",
+    sweeps=tuple(_sweep(node) for node in NODE_CONFIGS),
+)
+
+
+def run_figure(node: str):
+    return run_sweep_table(BENCH.sweep(f"fig14_adaptive_allgather_{node}"))
 
 
 @pytest.mark.parametrize("node", ["NodeA", "NodeB"])

@@ -15,44 +15,60 @@ Paper shapes:
 
 import pytest
 
-from repro.collectives.dpml import DPML_ALLREDUCE, DPML_REDUCE_SCATTER
-from repro.collectives.rg import RGAllreduce, RGReduce
+from repro.bench import (
+    Benchmark,
+    SweepSpec,
+    reduce_spec,
+    vendor_spec,
+    yhccl_spec,
+)
+from repro.bench.executor import run_sweep_table
 from repro.machine.spec import KB, MB
 
-from harness import NODE_CONFIGS, SIZES_WIDE, SIZES_ALLGATHER, sweep
-from runners import reduce_runner, vendor_runner, yhccl_runner
+from harness import NODE_CONFIGS, SIZES_WIDE, SIZES_ALLGATHER
 
 VENDORS = ["Intel MPI", "MVAPICH2", "MPICH", "Open MPI", "XPMEM"]
+KINDS = ["reduce_scatter", "reduce", "allreduce", "bcast", "allgather"]
 
 
-def _runners(kind: str):
-    runners = {"YHCCL": yhccl_runner(kind)}
+def _impls(kind: str) -> tuple:
+    impls = [("YHCCL", yhccl_spec(kind))]
     if kind in ("reduce_scatter", "allreduce"):
-        runners["DPML"] = reduce_runner(
-            DPML_REDUCE_SCATTER if kind == "reduce_scatter" else DPML_ALLREDUCE
-        )
+        impls.append(("DPML", reduce_spec("dpml", kind)))
     if kind in ("reduce", "allreduce"):
-        runners["RG"] = reduce_runner(
-            RGReduce(branch=2, slice_size=128 * KB) if kind == "reduce"
-            else RGAllreduce(branch=2, slice_size=128 * KB)
+        impls.append(
+            ("RG", reduce_spec("rg", kind, branch=2, slice_size=128 * KB))
         )
-    for v in VENDORS:
-        runners[v] = vendor_runner(v, kind)
-    return runners
+    impls.extend((v, vendor_spec(v, kind)) for v in VENDORS)
+    return tuple(impls)
 
 
-def run_subfigure(kind: str):
-    machine, p = NODE_CONFIGS["NodeA"]
+def _sweep(kind: str) -> SweepSpec:
+    _, p = NODE_CONFIGS["NodeA"]
     sizes = SIZES_ALLGATHER if kind == "allgather" else SIZES_WIDE
-    return sweep(
-        f"Figure 15 ({kind}): YHCCL vs state-of-the-art (NodeA, p={p})",
-        machine, p, sizes, _runners(kind), baseline="YHCCL",
+    return SweepSpec(
+        name=f"fig15_{kind}",
+        title=f"Figure 15 ({kind}): YHCCL vs state-of-the-art "
+              f"(NodeA, p={p})",
+        machine="NodeA",
+        p=p,
+        sizes=tuple(sizes),
+        impls=_impls(kind),
+        baseline="YHCCL",
     )
 
 
-@pytest.mark.parametrize("kind", [
-    "reduce_scatter", "reduce", "allreduce", "bcast", "allgather",
-])
+BENCH = Benchmark(
+    name="fig15_state_of_the_art",
+    sweeps=tuple(_sweep(kind) for kind in KINDS),
+)
+
+
+def run_subfigure(kind: str):
+    return run_sweep_table(BENCH.sweep(f"fig15_{kind}"))
+
+
+@pytest.mark.parametrize("kind", KINDS)
 def test_fig15(benchmark, kind):
     table = benchmark.pedantic(run_subfigure, args=(kind,), rounds=1,
                                iterations=1)

@@ -8,34 +8,40 @@ overtakes everything from ~8 ranks; XPMEM (DAV ``5s(p-1)`` vs MA's
 matters — the paper observes it winning at p=2 and 4.
 """
 
-import pytest
-
-from repro.machine.spec import MB, NODE_A
-
-from harness import RESULTS_DIR, SweepTable
-from runners import vendor_runner, yhccl_runner
-from harness import fresh_comm
+from repro.bench import Benchmark, SweepSpec, vendor_spec, yhccl_spec
+from repro.bench.executor import run_sweep_table
+from repro.machine.spec import MB
 
 S = 64 * MB
-RANKS = [2, 4, 8, 16, 32, 64]
+RANKS = (2, 4, 8, 16, 32, 64)
 IMPLS = ["YHCCL", "Intel MPI", "MVAPICH2", "MPICH", "Open MPI", "XPMEM"]
+
+BENCH = Benchmark(
+    name="fig16a_scalability",
+    sweeps=(
+        SweepSpec(
+            name="fig16a_scalability",
+            title=f"Figure 16a: single-node all-reduce scalability "
+                  f"(NodeA, s={S >> 20}MB)",
+            machine="NodeA",
+            p=0,  # varies: the x-axis is the rank count
+            sizes=RANKS,
+            impls=tuple(
+                (impl,
+                 yhccl_spec("allreduce") if impl == "YHCCL"
+                 else vendor_spec(impl, "allreduce"))
+                for impl in IMPLS
+            ),
+            baseline="YHCCL",
+            axis="ranks",
+            fixed_size=S,
+        ),
+    ),
+)
 
 
 def run_figure():
-    table = SweepTable(
-        title=f"Figure 16a: single-node all-reduce scalability "
-        f"(NodeA, s={S >> 20}MB)",
-        sizes=RANKS,
-        baseline="YHCCL",
-    )
-    for impl in IMPLS:
-        run = yhccl_runner("allreduce") if impl == "YHCCL" else vendor_runner(
-            impl, "allreduce"
-        )
-        for p in RANKS:
-            comm = fresh_comm(NODE_A, p)
-            table.add(impl, p, run(comm, S))
-    return table
+    return run_sweep_table(BENCH.sweep("fig16a_scalability"))
 
 
 def test_fig16a(benchmark):

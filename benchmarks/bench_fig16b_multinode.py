@@ -12,7 +12,11 @@ import pytest
 from repro.library.multinode import MultiNodeAllreduce
 from repro.machine.spec import KB, MB, NODE_A
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, SIZES_WIDE, SweepTable, fresh_comm
+
+BENCH = Benchmark(name="fig16b_multinode", custom="run_figure")
 
 NNODES = 16
 IMPLS = ["YHCCL", "Intel MPI", "MVAPICH2", "MPICH", "OMPI-hcoll"]

@@ -10,7 +10,11 @@ import pytest
 from repro.apps.miniamr import MiniAMR, MiniAMRConfig
 from repro.machine.spec import NODE_A
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fresh_comm
+
+BENCH = Benchmark(name="fig17_miniamr", custom="run_figure")
 
 NODES = [1, 2, 4, 8, 16, 32, 64]
 PAPER = {

@@ -14,7 +14,11 @@ import pytest
 from repro.apps.cnn import CNNTrainer, resnet50, vgg16
 from repro.machine.spec import CLUSTER_C
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fresh_comm
+
+BENCH = Benchmark(name="fig18_cnn", custom="run_figure")
 
 NODES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
 

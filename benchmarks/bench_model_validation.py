@@ -18,7 +18,11 @@ from repro.machine.spec import KB, MB, NODE_A
 from repro.models.timing import predict_time
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="model_validation", custom="run_validation")
 
 SIZES = [256 * KB, 2 * MB, 16 * MB, 64 * MB]
 CASES = [

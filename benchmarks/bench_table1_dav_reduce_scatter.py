@@ -16,7 +16,11 @@ from repro.library.communicator import Communicator
 from repro.machine.spec import MB, NODE_A
 from repro.models.dav import dav_reduce_scatter
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="table1_dav_reduce_scatter", custom="run_table")
 
 S = 1 * MB
 P = 64

@@ -14,7 +14,11 @@ from repro.library.communicator import Communicator
 from repro.machine.spec import KB, MB, NODE_A
 from repro.models.dav import dav_allreduce
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="table2_dav_allreduce", custom="run_table")
 
 S = 1 * MB
 P = 64

@@ -12,7 +12,11 @@ from repro.library.communicator import Communicator
 from repro.machine.spec import KB, MB, NODE_A
 from repro.models.dav import dav_reduce
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="table3_dav_reduce", custom="run_table")
 
 S = 1 * MB
 P = 64

@@ -6,10 +6,13 @@ Paper values (MB/s): memmove 147361/149686/232061, t-copy
 nt ~1.5x t, with memmove jumping to the NT path at the 2 MB slice.
 """
 
+from repro.bench import Benchmark
 from repro.copyengine.stream import SlicedCopyBenchmark
 from repro.machine.spec import GB, KB, MB, NODE_A
 
 from harness import RESULTS_DIR, fmt_size
+
+BENCH = Benchmark(name="table4_stream", custom="run_table")
 
 SLICES = [512 * KB, 1 * MB, 2 * MB]
 PAPER = {

@@ -15,7 +15,11 @@ from repro.copyengine.primitives import kernel_copy
 from repro.machine.spec import MB, NODE_A
 from repro.sim.engine import Engine
 
+from repro.bench import Benchmark
+
 from harness import RESULTS_DIR
+
+BENCH = Benchmark(name="table5_cma_copy", custom="run_table")
 
 S = 32 * MB
 P = 64

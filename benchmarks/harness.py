@@ -1,144 +1,40 @@
-"""Benchmark harness: sweep runners and table formatting shared by the
-per-figure/per-table benchmark modules.
+"""Benchmark harness: shared plumbing for the per-figure/per-table
+benchmark modules.
+
+The heavy lifting — sweep tables, size grids, declarative sweep specs,
+parallel execution and the persistent result cache — lives in
+:mod:`repro.bench`; this module re-exports the pieces the benchmark
+modules use and keeps the repo-local bits (the results directory and
+the per-node rank counts).
 
 Every benchmark regenerates one table or figure of the paper as a text
-table: absolute simulated times per message size per implementation,
-plus the relative-overhead view the figures plot.  Tables are printed
-and saved under ``benchmarks/results/``.
+table, printed and saved under ``benchmarks/results/``; ``python -m
+repro bench`` additionally serializes each sweep to ``BENCH_*.json``.
 
 Environment:
 
-* ``REPRO_QUICK=1`` — trim the size sweeps (for smoke runs).
+* ``REPRO_QUICK=1`` — trim the size sweeps (for smoke runs); the first
+  and last size of each sweep are always retained so quick runs still
+  cross the working-set-vs-cache threshold.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Sequence
 
+from repro.bench.sizes import (  # noqa: F401  (re-exported surface)
+    QUICK,
+    SIZES_ALLGATHER,
+    SIZES_LARGE,
+    SIZES_WIDE,
+    quick_subsample,
+)
+from repro.bench.table import SweepTable, fmt_size  # noqa: F401
 from repro.library.communicator import Communicator
-from repro.machine.spec import KB, MB, NODE_A, NODE_B
+from repro.machine.spec import NODE_A, NODE_B
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-QUICK = bool(int(os.environ.get("REPRO_QUICK", "0")))
-
-#: the paper's 64 KB – 256 MB sweep (subsampled above 16 MB to keep the
-#: op-heavy simulations inside a benchmark-suite time budget)
-SIZES_LARGE = [
-    64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB,
-    8 * MB, 16 * MB, 64 * MB, 256 * MB,
-]
-#: 16 KB – 256 MB (Figure 15)
-SIZES_WIDE = [16 * KB, 32 * KB] + SIZES_LARGE
-#: 8 KB – 8 MB (Figure 14, all-gather: aggregate is p times larger)
-SIZES_ALLGATHER = [
-    8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB,
-    1 * MB, 2 * MB, 4 * MB, 8 * MB,
-]
-
-if QUICK:  # pragma: no cover - smoke-run convenience
-    SIZES_LARGE = SIZES_LARGE[::3]
-    SIZES_WIDE = SIZES_WIDE[::3]
-    SIZES_ALLGATHER = SIZES_ALLGATHER[::3]
-
-
-def fmt_size(nbytes: int) -> str:
-    if nbytes >= MB:
-        v = nbytes / MB
-        return f"{v:g}MB"
-    return f"{nbytes / KB:g}KB"
-
-
-@dataclass
-class SweepTable:
-    """times[impl][size] in seconds, plus free-form notes."""
-
-    title: str
-    sizes: list
-    times: dict = field(default_factory=dict)
-    notes: list = field(default_factory=list)
-    baseline: str = ""
-
-    def add(self, impl: str, size: int, seconds: float) -> None:
-        self.times.setdefault(impl, {})[size] = seconds
-
-    def note(self, text: str) -> None:
-        self.notes.append(text)
-
-    def impls(self) -> list:
-        return list(self.times)
-
-    def time(self, impl: str, size: int) -> float:
-        return self.times[impl][size]
-
-    def relative(self, impl: str, size: int) -> float:
-        base = self.baseline or self.impls()[0]
-        return self.times[impl][size] / self.times[base][size]
-
-    # ---- formatting --------------------------------------------------------
-
-    def render(self) -> str:
-        base = self.baseline or self.impls()[0]
-        w = max(18, max(len(i) for i in self.impls()) + 2)
-        out = [self.title, "=" * len(self.title), ""]
-        header = f"{'Msg Size':>10} " + "".join(
-            f"{i:>{w}}" for i in self.impls()
-        )
-        out.append("absolute simulated time (us):")
-        out.append(header)
-        for s in self.sizes:
-            row = f"{fmt_size(s):>10} "
-            for i in self.impls():
-                t = self.times[i].get(s)
-                row += f"{t * 1e6:>{w}.1f}" if t is not None else " " * w
-            out.append(row)
-        out.append("")
-        out.append(f"relative time overhead (vs {base}):")
-        out.append(header)
-        for s in self.sizes:
-            row = f"{fmt_size(s):>10} "
-            for i in self.impls():
-                t = self.times[i].get(s)
-                tb = self.times[base].get(s)
-                row += (
-                    f"{t / tb:>{w}.2f}" if t is not None and tb else " " * w
-                )
-            out.append(row)
-        if self.notes:
-            out.append("")
-            out.extend(f"note: {n}" for n in self.notes)
-        return "\n".join(out)
-
-    def emit(self, filename: str) -> str:
-        text = self.render()
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / filename).write_text(text + "\n")
-        print("\n" + text + "\n")
-        return text
-
-    # ---- shape assertions ---------------------------------------------------
-
-    def assert_wins(self, winner: str, loser: str, *, at_least: Sequence[int],
-                    factor: float = 1.0) -> None:
-        """Assert ``winner`` is at least ``factor``x faster at the given
-        sizes — the 'who wins' shape contract."""
-        for s in at_least:
-            tw, tl = self.times[winner][s], self.times[loser][s]
-            assert tw * factor <= tl, (
-                f"{self.title}: expected {winner} <= {loser}/{factor} at "
-                f"{fmt_size(s)}, got {tw * 1e6:.1f}us vs {tl * 1e6:.1f}us"
-            )
-
-    def geomean_speedup(self, impl: str, over: str,
-                        sizes: Optional[Sequence[int]] = None) -> float:
-        sizes = list(sizes or self.sizes)
-        prod = 1.0
-        for s in sizes:
-            prod *= self.times[over][s] / self.times[impl][s]
-        return prod ** (1.0 / len(sizes))
 
 
 def fresh_comm(machine, p: int) -> Communicator:
@@ -152,6 +48,10 @@ def sweep(title: str, machine, p: int, sizes: Sequence[int],
     A fresh communicator (cold caches) is used per (impl, size) point,
     mirroring the paper's benchmark methodology of touching buffers
     between iterations so no stale cache state helps anyone.
+
+    Legacy path for callable runners; declarative modules build a
+    :class:`repro.bench.SweepSpec` and call
+    :func:`repro.bench.executor.run_sweep_table` instead.
     """
     table = SweepTable(title=title, sizes=list(sizes), baseline=baseline)
     for impl, run in runners.items():

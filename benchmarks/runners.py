@@ -1,85 +1,24 @@
-"""Per-implementation runner factories for the benchmark sweeps.
+"""Per-implementation runner factories — compatibility surface.
 
-A runner is ``fn(comm, nbytes) -> seconds`` (simulated completion time).
-The tuning mirrors Section 5.3: MA slice caps of 256 KB (NodeA) /
-128 KB (NodeB), DPML's 8 KB reduction block, RG with branch 2 and
-128 KB slices; the published baselines run with ``memmove`` copies
-(their implementations' store path), the YHCCL designs with the
-adaptive copy unless a specific policy is requested.
+The factories now live in :mod:`repro.bench.runners` (where the
+declarative sweep specs resolve to the same code paths); this module
+re-exports them for the benchmark modules and any out-of-tree users.
+
+A runner is ``fn(comm, nbytes) -> seconds`` (simulated completion
+time).  Note the slice-cap contract: ``imax=None`` selects the
+platform's tuned cap (256 KB NodeA / 128 KB NodeB), while an explicit
+non-positive ``imax`` raises ``ValueError`` instead of being silently
+replaced by the default.
 """
 
 from __future__ import annotations
 
-from repro.collectives.common import (
-    run_allgather_collective,
-    run_bcast_collective,
-    run_reduce_collective,
+from repro.bench.registry import platform_imax  # noqa: F401
+from repro.bench.runners import (  # noqa: F401
+    ITERATIONS,
+    allgather_runner,
+    bcast_runner,
+    reduce_runner,
+    vendor_runner,
+    yhccl_runner,
 )
-from repro.library.mpi import MPILibrary
-from repro.library.yhccl import YHCCL
-from repro.machine.spec import KB
-
-
-def platform_imax(machine) -> int:
-    return {"NodeA": 256 * KB, "NodeB": 128 * KB}.get(machine.name, 128 * KB)
-
-
-#: steady-state measurement: warm-up iteration + measured iteration,
-#: mirroring the paper's OSU-style loops
-ITERATIONS = 2
-
-
-def reduce_runner(alg, policy: str = "memmove", imax=None, root: int = 0):
-    """Directly drive one reduction-family algorithm."""
-
-    def run(comm, nbytes):
-        cap = imax or platform_imax(comm.machine)
-        res = run_reduce_collective(
-            alg, comm.engine, nbytes, copy_policy=policy, imax=cap,
-            root=root, iterations=ITERATIONS,
-        )
-        return res.time
-
-    return run
-
-
-def bcast_runner(alg, policy: str = "memmove", imax=None, root: int = 0):
-    def run(comm, nbytes):
-        res = run_bcast_collective(
-            alg, comm.engine, nbytes, copy_policy=policy,
-            imax=imax or platform_imax(comm.machine), root=root,
-            iterations=ITERATIONS,
-        )
-        return res.time
-
-    return run
-
-
-def allgather_runner(alg, policy: str = "memmove", imax=None):
-    def run(comm, nbytes):
-        res = run_allgather_collective(
-            alg, comm.engine, nbytes, copy_policy=policy,
-            imax=imax or platform_imax(comm.machine),
-            iterations=ITERATIONS,
-        )
-        return res.time
-
-    return run
-
-
-def yhccl_runner(kind: str):
-    """The full YHCCL stack (switching + socket-aware MA + adaptive copy)."""
-
-    def run(comm, nbytes):
-        lib = YHCCL(comm)
-        return getattr(lib, kind)(nbytes, iterations=ITERATIONS).time
-
-    return run
-
-
-def vendor_runner(vendor: str, kind: str):
-    def run(comm, nbytes):
-        lib = MPILibrary(comm, vendor)
-        return getattr(lib, kind)(nbytes, iterations=ITERATIONS).time
-
-    return run

@@ -23,6 +23,12 @@ Commands
     data races, deadlocks, schedule lints and DAV regressions (see
     ``docs/analysis.md``).  ``analyze all`` sweeps the whole matrix;
     exits non-zero when any check fails.
+
+``bench <name>|all``
+    The benchmark suite: fans sweep cells out over worker processes
+    (``--jobs N``), memoizes results in ``benchmarks/results/cache/``
+    and serializes every sweep to ``BENCH_*.json`` plus a consolidated
+    ``BENCH_summary.json`` (see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -89,6 +95,10 @@ def main(argv=None) -> int:
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--out", default="")
 
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(sub)
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -147,6 +157,11 @@ def main(argv=None) -> int:
             print(render_results(results))
             failed = failed or any(not r.ok for r in results)
         return 1 if failed else 0
+
+    if args.command == "bench":
+        from repro.bench.cli import run_bench_command
+
+        return run_bench_command(args)
 
     if args.command == "compare":
         print(compare_priorities(

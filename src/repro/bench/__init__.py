@@ -1,0 +1,50 @@
+"""Benchmark execution layer: declarative sweeps, parallel execution,
+persistent result cache and canonical JSON serialization.
+
+The ``benchmarks/bench_*`` modules declare *what* to run — a
+:class:`~repro.bench.spec.Benchmark` made of
+:class:`~repro.bench.spec.SweepSpec` cells (machine × implementation ×
+size) or a module-level custom function — and this package decides
+*how*: cells fan out across CPU cores with
+:class:`concurrent.futures.ProcessPoolExecutor`, results are memoized
+in an on-disk cache keyed by a content hash of the cell descriptor and
+the ``repro`` source version, and every sweep serializes to the
+``repro-bench/1`` JSON schema next to the classic text tables.
+
+Entry points:
+
+* ``python -m repro bench <name>|all [--jobs N] [--no-cache] [--json]``
+* :func:`repro.bench.executor.run_sweep_table` — serial, uncached
+  execution of one sweep (the pytest benchmark path).
+
+See ``docs/benchmarks.md`` for the schema and the cache-key contract.
+"""
+
+from repro.bench.runners import ITERATIONS, CellResult, resolve_imax
+from repro.bench.spec import (
+    Benchmark,
+    RunnerSpec,
+    SweepSpec,
+    allgather_spec,
+    bcast_spec,
+    reduce_spec,
+    vendor_spec,
+    yhccl_spec,
+)
+from repro.bench.table import SweepTable, fmt_size
+
+__all__ = [
+    "Benchmark",
+    "CellResult",
+    "ITERATIONS",
+    "RunnerSpec",
+    "SweepSpec",
+    "SweepTable",
+    "allgather_spec",
+    "bcast_spec",
+    "fmt_size",
+    "reduce_spec",
+    "resolve_imax",
+    "vendor_spec",
+    "yhccl_spec",
+]

@@ -1,0 +1,99 @@
+"""``python -m repro bench`` — the benchmark suite front end.
+
+Examples::
+
+    python -m repro bench all --jobs 8        # full suite, 8 workers
+    python -m repro bench fig11_allreduce     # one benchmark, cached
+    python -m repro bench all --no-cache      # force re-simulation
+    python -m repro bench list                # what's available
+    REPRO_QUICK=1 python -m repro bench all --jobs 2 --json   # CI smoke
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+
+def add_bench_parser(sub) -> None:
+    bench = sub.add_parser(
+        "bench",
+        help="parallel benchmark suite with persistent result cache",
+    )
+    bench.add_argument(
+        "name",
+        help="benchmark name, comma-separated names, 'all', or 'list'",
+    )
+    bench.add_argument(
+        "-j", "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU core, 1 = serial)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and don't update the on-disk result cache",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the consolidated summary JSON to stdout instead of "
+             "the text tables",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smoke-run size grids (same as REPRO_QUICK=1)",
+    )
+
+
+def run_bench_command(args) -> int:
+    if args.quick:
+        os.environ["REPRO_QUICK"] = "1"
+    # import after the env is settled: the size grids read REPRO_QUICK
+    from repro.bench.discover import (
+        benchmarks_dir,
+        default_results_dir,
+        load_benchmarks,
+    )
+    from repro.bench.executor import run_suite
+    from repro.bench.jsonio import canonical_dumps
+
+    bench_dir = benchmarks_dir()
+    available = load_benchmarks(bench_dir)
+
+    if args.name == "list":
+        for name, bench in available.items():
+            shape = (f"{len(bench.sweeps)} sweep(s)" if bench.sweeps
+                     else f"custom ({bench.custom})")
+            print(f"{name:<28} {shape}  [{bench.module}]")
+        return 0
+
+    if args.name == "all":
+        selected = available
+    else:
+        selected = {}
+        for name in args.name.split(","):
+            name = name.strip()
+            if name not in available:
+                print(f"error: unknown benchmark {name!r}; "
+                      f"try 'python -m repro bench list'", file=sys.stderr)
+                return 2
+            selected[name] = available[name]
+
+    progress = None if args.json else lambda msg: print(msg)
+    t0 = time.time()
+    summary, docs, cache = run_suite(
+        selected,
+        bench_dir=bench_dir,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    elapsed = time.time() - t0
+    if args.json:
+        print(canonical_dumps(summary), end="")
+    results_dir = default_results_dir()
+    print(
+        f"[bench] {len(selected)} benchmark(s) in {elapsed:.1f}s; "
+        f"{cache.stats()}; JSON under {results_dir}/BENCH_*.json",
+        file=sys.stderr,
+    )
+    return 0

@@ -1,0 +1,74 @@
+"""Discovery of benchmark modules and their declarations.
+
+The ``benchmarks/`` directory is not a package (its modules import each
+other through a ``sys.path`` entry, as pytest does), so discovery
+mirrors that arrangement: locate the directory, put it on ``sys.path``
+and import every ``bench_*.py``, collecting each module's ``BENCH``
+declaration.
+
+Resolution order for the directory: ``$REPRO_BENCH_DIR``, then the
+source checkout the ``repro`` package was imported from, then upward
+from the current working directory.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.bench.spec import Benchmark
+
+
+def benchmarks_dir() -> Path:
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        path = Path(env)
+        if not (path / "harness.py").exists():
+            raise FileNotFoundError(
+                f"REPRO_BENCH_DIR={env} has no harness.py"
+            )
+        return path.resolve()
+    candidates = [Path(__file__).resolve().parents[3] / "benchmarks"]
+    cwd = Path.cwd().resolve()
+    candidates.extend(parent / "benchmarks"
+                      for parent in (cwd, *cwd.parents))
+    for cand in candidates:
+        if (cand / "harness.py").exists():
+            return cand.resolve()
+    raise FileNotFoundError(
+        "cannot locate the benchmarks/ directory; set REPRO_BENCH_DIR"
+    )
+
+
+def default_results_dir() -> Path:
+    return benchmarks_dir() / "results"
+
+
+def ensure_importable(bench_dir: Path) -> None:
+    entry = str(bench_dir)
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def load_benchmarks(
+    bench_dir: Optional[Path] = None,
+) -> Dict[str, Benchmark]:
+    """Import every ``bench_*.py`` and collect ``BENCH`` declarations,
+    keyed by benchmark name, in sorted module order."""
+    bench_dir = bench_dir or benchmarks_dir()
+    ensure_importable(bench_dir)
+    out: Dict[str, Benchmark] = {}
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        module = importlib.import_module(path.stem)
+        bench = getattr(module, "BENCH", None)
+        if bench is None:
+            raise AttributeError(
+                f"{path.name} declares no BENCH benchmark spec"
+            )
+        if bench.name in out:
+            raise ValueError(f"duplicate benchmark name {bench.name!r}")
+        out[bench.name] = bench.with_module(path.stem)
+    return out

@@ -1,0 +1,272 @@
+"""Cell execution: serial or fanned out over a process pool, through
+the persistent result cache.
+
+The unit of work is a *cell*:
+
+* declarative sweeps yield one cell per (implementation, x) point —
+  these parallelize across CPU cores and cache individually;
+* a custom benchmark (one module-level function) is a single cell —
+  it still runs in a worker and caches as a whole.
+
+Workers receive pure-data payloads (no closures cross the process
+boundary): the machine preset name, the rank count, the message size
+and the :class:`~repro.bench.spec.RunnerSpec` dict — or, for custom
+cells, the benchmark module and function names to re-import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.cache import ResultCache, descriptor_key, source_version
+from repro.bench.jsonio import SCHEMA, benchmark_doc, sanitize, summary_doc
+from repro.bench.runners import ITERATIONS
+from repro.bench.spec import Benchmark, RunnerSpec, SweepSpec
+from repro.bench.table import SweepTable
+
+
+def _quick() -> bool:
+    return bool(int(os.environ.get("REPRO_QUICK", "0")))
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (top-level: picklable by reference)
+# ---------------------------------------------------------------------------
+
+
+def _worker_init(bench_dir: str) -> None:
+    """Make the benchmarks directory importable inside workers (needed
+    for custom cells under spawn-based start methods; harmless under
+    fork)."""
+    import sys
+
+    if bench_dir and bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+
+
+def exec_payload(payload: dict) -> dict:
+    """Execute one cell payload; returns a JSON-safe result dict."""
+    if payload["type"] == "cell":
+        from repro.library.communicator import Communicator
+        from repro.machine.spec import PRESETS
+
+        spec = RunnerSpec.from_dict(payload["runner"])
+        machine = PRESETS[payload["machine"]]
+        comm = Communicator(payload["p"], machine=machine, functional=False)
+        res = spec.resolve()(comm, payload["nbytes"])
+        return {"time": res.time, "dav": res.dav, "algorithm": res.algorithm}
+    _worker_init(payload.get("bench_dir", ""))
+    module = importlib.import_module(payload["module"])
+    fn = getattr(module, payload["attr"])
+    return {"payload": sanitize(fn())}
+
+
+# ---------------------------------------------------------------------------
+# Cache descriptors
+# ---------------------------------------------------------------------------
+
+
+def cell_descriptor(cell: dict) -> dict:
+    """The cache identity of a sweep cell: full machine spec, runner
+    spec, geometry and the repro source version."""
+    from repro.machine.spec import PRESETS
+
+    return {
+        "schema": SCHEMA,
+        "source": source_version(),
+        "machine": dataclasses.asdict(PRESETS[cell["machine"]]),
+        "p": cell["p"],
+        "nbytes": cell["nbytes"],
+        "iterations": ITERATIONS,
+        "runner": cell["runner"],
+    }
+
+
+def custom_descriptor(module_path: Path, attr: str) -> dict:
+    """Custom cells hash the defining module's bytes too: the function
+    body *is* the sweep definition."""
+    import hashlib
+
+    return {
+        "schema": SCHEMA,
+        "source": source_version(),
+        "custom": module_path.stem,
+        "attr": attr,
+        "module_sha": hashlib.sha256(module_path.read_bytes()).hexdigest(),
+        "quick": _quick(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome: tables for declarative sweeps, the
+    sanitized payload for custom ones, and its JSON document."""
+
+    name: str
+    tables: List[SweepTable] = field(default_factory=list)
+    custom_payload: Optional[dict] = None
+
+    def doc(self) -> dict:
+        return benchmark_doc(
+            self.name,
+            source_version=source_version(),
+            quick=_quick(),
+            tables=self.tables if self.tables else None,
+            custom_payload=self.custom_payload,
+        )
+
+
+class _Work:
+    """One cell flowing through cache-check → execute → collect."""
+
+    __slots__ = ("payload", "key", "descriptor", "result", "future")
+
+    def __init__(self, payload: dict, descriptor: dict):
+        self.payload = payload
+        self.descriptor = descriptor
+        self.key = descriptor_key(descriptor)
+        self.result: Optional[dict] = None
+        self.future = None
+
+
+def _drain(work: "list[_Work]", cache: Optional[ResultCache],
+           pool: Optional[ProcessPoolExecutor]) -> None:
+    """Resolve every work item: cache hit, pool future or inline run."""
+    for w in work:
+        if cache is not None:
+            w.result = cache.get(w.key)
+        if w.result is None and pool is not None:
+            w.future = pool.submit(exec_payload, w.payload)
+    for w in work:
+        if w.result is None:
+            w.result = w.future.result() if w.future is not None \
+                else exec_payload(w.payload)
+            if cache is not None:
+                cache.put(w.key, w.descriptor, w.result)
+
+
+def _sweep_work(spec: SweepSpec) -> "list[_Work]":
+    out = []
+    for cell in spec.cells():
+        payload = {
+            "type": "cell",
+            "machine": cell["machine"],
+            "p": cell["p"],
+            "nbytes": cell["nbytes"],
+            "runner": cell["runner"],
+        }
+        out.append(_Work(payload, cell_descriptor(cell)))
+    return out
+
+
+def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
+    table = SweepTable(title=spec.title, sizes=list(spec.sizes),
+                       baseline=spec.baseline)
+    for cell, w in zip(spec.cells(), work):
+        table.add(cell["impl"], cell["x"], w.result["time"],
+                  dav=w.result["dav"], algorithm=w.result["algorithm"])
+    return table
+
+
+def run_sweep_table(spec: SweepSpec, *,
+                    cache: Optional[ResultCache] = None,
+                    pool: Optional[ProcessPoolExecutor] = None) -> SweepTable:
+    """Execute one sweep (serial and uncached unless given otherwise).
+
+    This is the pytest benchmark path: the per-figure modules call it
+    from their ``run_figure`` helpers and keep their shape assertions.
+    """
+    work = _sweep_work(spec)
+    _drain(work, cache, pool)
+    return _sweep_table(spec, work)
+
+
+def run_benchmark(bench: Benchmark, *,
+                  bench_dir: Optional[Path] = None,
+                  cache: Optional[ResultCache] = None,
+                  pool: Optional[ProcessPoolExecutor] = None) -> BenchResult:
+    """Execute one benchmark through the cache/pool machinery."""
+    result = BenchResult(name=bench.name)
+    if bench.custom:
+        from repro.bench.discover import benchmarks_dir
+
+        bench_dir = bench_dir or benchmarks_dir()
+        module_path = bench_dir / f"{bench.module}.py"
+        payload = {
+            "type": "custom",
+            "module": bench.module,
+            "attr": bench.custom,
+            "bench_dir": str(bench_dir),
+        }
+        work = [_Work(payload, custom_descriptor(module_path, bench.custom))]
+        _drain(work, cache, pool)
+        result.custom_payload = work[0].result["payload"]
+        return result
+    all_work = [_sweep_work(s) for s in bench.sweeps]
+    flat = [w for ws in all_work for w in ws]
+    _drain(flat, cache, pool)
+    for spec, work in zip(bench.sweeps, all_work):
+        result.tables.append(_sweep_table(spec, work))
+    return result
+
+
+def run_suite(benchmarks: "Dict[str, Benchmark]", *,
+              bench_dir: Optional[Path] = None,
+              results_dir: Optional[Path] = None,
+              jobs: int = 1,
+              use_cache: bool = True,
+              write_json: bool = True,
+              progress=None):
+    """Run a set of benchmarks; write per-benchmark JSON documents and
+    the consolidated ``BENCH_summary.json``.
+
+    Returns ``(summary, docs, cache)``.  ``jobs <= 0`` means one worker
+    per CPU core; ``jobs == 1`` runs inline (no pool).
+    """
+    from repro.bench.discover import benchmarks_dir, default_results_dir
+    from repro.bench.jsonio import write_json as _write
+
+    bench_dir = bench_dir or benchmarks_dir()
+    results_dir = results_dir or default_results_dir()
+    cache = ResultCache(results_dir / "cache", enabled=use_cache)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    pool = None
+    if jobs > 1:
+        pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init,
+            initargs=(str(bench_dir),),
+        )
+    docs = []
+    try:
+        for name, bench in benchmarks.items():
+            if progress is not None:
+                progress(f"[bench] {name} ...")
+            res = run_benchmark(bench, bench_dir=bench_dir, cache=cache,
+                                pool=pool)
+            doc = res.doc()
+            docs.append(doc)
+            if write_json:
+                _write(doc, results_dir / f"BENCH_{name}.json")
+            if progress is not None:
+                for table in res.tables:
+                    progress(table.render())
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    summary = summary_doc(docs, source_version=source_version(),
+                          quick=_quick())
+    if write_json:
+        _write(summary, results_dir / "BENCH_summary.json")
+    return summary, docs, cache

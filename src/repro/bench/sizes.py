@@ -1,0 +1,49 @@
+"""Message-size grids shared by the benchmark sweeps.
+
+``REPRO_QUICK=1`` trims every grid for smoke runs.  The subsample keeps
+the *endpoints* of each sweep: dropping the largest size (256 MB) would
+mean quick runs never cross the working-set-vs-cache threshold that
+drives the adaptive NT-store model, silently skipping the most
+interesting regime.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.machine.spec import KB, MB
+
+QUICK = bool(int(os.environ.get("REPRO_QUICK", "0")))
+
+
+def quick_subsample(sizes: Sequence[int]) -> List[int]:
+    """Every third size, but always retaining the first and last.
+
+    The endpoints anchor the sweep's two regimes (cache-resident and
+    memory-streaming); a smoke run must exercise both.
+    """
+    out = list(sizes[::3])
+    if sizes and out[-1] != sizes[-1]:
+        out.append(sizes[-1])
+    return out
+
+
+#: the paper's 64 KB – 256 MB sweep (subsampled above 16 MB to keep the
+#: op-heavy simulations inside a benchmark-suite time budget)
+SIZES_LARGE = [
+    64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB,
+    8 * MB, 16 * MB, 64 * MB, 256 * MB,
+]
+#: 16 KB – 256 MB (Figure 15)
+SIZES_WIDE = [16 * KB, 32 * KB] + SIZES_LARGE
+#: 8 KB – 8 MB (Figure 14, all-gather: aggregate is p times larger)
+SIZES_ALLGATHER = [
+    8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB,
+    1 * MB, 2 * MB, 4 * MB, 8 * MB,
+]
+
+if QUICK:  # pragma: no cover - smoke-run convenience
+    SIZES_LARGE = quick_subsample(SIZES_LARGE)
+    SIZES_WIDE = quick_subsample(SIZES_WIDE)
+    SIZES_ALLGATHER = quick_subsample(SIZES_ALLGATHER)

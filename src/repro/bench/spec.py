@@ -1,0 +1,199 @@
+"""Declarative benchmark specifications.
+
+A benchmark module declares *data*: which machine, how many ranks,
+which implementations (by registry name) and which sizes.  Everything
+here is an immutable, picklable value — the execution layer turns specs
+into cells, hashes them for the persistent cache, and ships them to
+worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.bench.runners import (
+    CellResult,
+    allgather_cell,
+    bcast_cell,
+    reduce_cell,
+    vendor_cell,
+    yhccl_cell,
+)
+
+#: runner families a spec may name
+FAMILIES = ("reduce", "bcast", "allgather", "yhccl", "vendor")
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """One implementation column of a sweep, as pure data.
+
+    ``family`` selects the driver:
+
+    * ``"reduce"`` / ``"bcast"`` / ``"allgather"`` — drive one algorithm
+      (named in ``algorithm``, resolved via the registry; ``params``
+      feeds parameterized constructors such as RG's branch/slice).
+    * ``"yhccl"`` — the full library stack (switching + adaptive copy).
+    * ``"vendor"`` — a vendor model (``vendor`` names it).
+
+    ``kind`` is the collective ("allreduce", "bcast", ...).  ``imax`` of
+    ``None`` means the per-platform tuned slice cap.
+    """
+
+    family: str
+    kind: str
+    algorithm: str = ""
+    policy: str = "memmove"
+    imax: Optional[int] = None
+    root: int = 0
+    vendor: str = ""
+    params: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown runner family {self.family!r}; "
+                f"choose from {FAMILIES}"
+            )
+
+    def describe(self) -> dict:
+        """Stable dict form — the cache-key and wire representation."""
+        return {
+            "family": self.family,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "policy": self.policy,
+            "imax": self.imax,
+            "root": self.root,
+            "vendor": self.vendor,
+            "params": [list(kv) for kv in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunnerSpec":
+        d = dict(d)
+        d["params"] = tuple(tuple(kv) for kv in d.get("params", ()))
+        return cls(**d)
+
+    def resolve(self) -> Callable[[object, int], CellResult]:
+        """Build the executable cell runner for this spec."""
+        if self.family == "yhccl":
+            return yhccl_cell(self.kind)
+        if self.family == "vendor":
+            return vendor_cell(self.vendor, self.kind)
+        from repro.bench.registry import resolve_algorithm
+
+        alg = resolve_algorithm(self.algorithm, self.kind, self.params)
+        if self.family == "reduce":
+            return reduce_cell(alg, self.policy, self.imax, self.root)
+        if self.family == "bcast":
+            return bcast_cell(alg, self.policy, self.imax, self.root)
+        return allgather_cell(alg, self.policy, self.imax)
+
+
+def reduce_spec(algorithm: str, kind: str, policy: str = "memmove", *,
+                imax: Optional[int] = None, root: int = 0,
+                **params) -> RunnerSpec:
+    return RunnerSpec(family="reduce", kind=kind, algorithm=algorithm,
+                      policy=policy, imax=imax, root=root,
+                      params=tuple(sorted(params.items())))
+
+
+def bcast_spec(algorithm: str, policy: str = "memmove", *,
+               imax: Optional[int] = None, root: int = 0,
+               **params) -> RunnerSpec:
+    return RunnerSpec(family="bcast", kind="bcast", algorithm=algorithm,
+                      policy=policy, imax=imax, root=root,
+                      params=tuple(sorted(params.items())))
+
+
+def allgather_spec(algorithm: str, policy: str = "memmove", *,
+                   imax: Optional[int] = None, **params) -> RunnerSpec:
+    return RunnerSpec(family="allgather", kind="allgather",
+                      algorithm=algorithm, policy=policy, imax=imax,
+                      params=tuple(sorted(params.items())))
+
+
+def yhccl_spec(kind: str) -> RunnerSpec:
+    return RunnerSpec(family="yhccl", kind=kind)
+
+
+def vendor_spec(vendor: str, kind: str) -> RunnerSpec:
+    return RunnerSpec(family="vendor", kind=kind, vendor=vendor)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: machine × implementations × x-axis.
+
+    ``axis`` is ``"size"`` (x values are message sizes at fixed rank
+    count ``p``) or ``"ranks"`` (x values are rank counts at fixed
+    message size ``fixed_size`` — the scalability figures).
+    """
+
+    name: str
+    title: str
+    machine: str  # preset name, resolved via repro.machine.spec.PRESETS
+    p: int
+    sizes: Tuple[int, ...]
+    impls: Tuple[Tuple[str, RunnerSpec], ...]
+    baseline: str = ""
+    axis: str = "size"
+    fixed_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("size", "ranks"):
+            raise ValueError(f"unknown sweep axis {self.axis!r}")
+        if self.axis == "ranks" and self.fixed_size <= 0:
+            raise ValueError("axis='ranks' requires a positive fixed_size")
+
+    def cells(self) -> Iterator[dict]:
+        """Cell descriptors in deterministic declaration order."""
+        for label, spec in self.impls:
+            for x in self.sizes:
+                p = x if self.axis == "ranks" else self.p
+                nbytes = self.fixed_size if self.axis == "ranks" else x
+                yield {
+                    "impl": label,
+                    "x": x,
+                    "machine": self.machine,
+                    "p": p,
+                    "nbytes": nbytes,
+                    "runner": spec.describe(),
+                }
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A benchmark module's declaration.
+
+    Either ``sweeps`` (declarative: parallelized and cached per cell)
+    or ``custom`` (the name of a module-level zero-argument function:
+    executed as a single cached cell; its sanitized return value is the
+    JSON payload).  ``module`` is filled in by discovery.
+    """
+
+    name: str
+    sweeps: Tuple[SweepSpec, ...] = ()
+    custom: str = ""
+    module: str = ""
+
+    def __post_init__(self) -> None:
+        if bool(self.sweeps) == bool(self.custom):
+            raise ValueError(
+                f"benchmark {self.name!r} must declare exactly one of "
+                "sweeps or custom"
+            )
+
+    def sweep(self, name: str) -> SweepSpec:
+        for s in self.sweeps:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"{self.name} has no sweep {name!r}; "
+            f"sweeps: {[s.name for s in self.sweeps]}"
+        )
+
+    def with_module(self, module: str) -> "Benchmark":
+        return replace(self, module=module)

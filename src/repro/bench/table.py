@@ -1,0 +1,171 @@
+"""Sweep result tables: text rendering, shape assertions and the
+``repro-bench/1`` JSON view.
+
+Moved here from ``benchmarks/harness.py`` so the execution layer and
+the per-figure pytest modules share one result container; the harness
+re-exports it for the benchmark modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.machine.spec import KB, MB
+
+
+def fmt_size(nbytes: int) -> str:
+    if nbytes >= MB:
+        v = nbytes / MB
+        return f"{v:g}MB"
+    return f"{nbytes / KB:g}KB"
+
+
+@dataclass
+class SweepTable:
+    """times[impl][size] in seconds, plus free-form notes.
+
+    ``dav[impl][size]`` (bytes) and ``algorithm[impl][size]`` (the
+    algorithm the implementation selected) are filled when the
+    execution layer provides them; legacy callers that only ``add``
+    seconds still work.
+    """
+
+    title: str
+    sizes: list
+    times: dict = field(default_factory=dict)
+    dav: dict = field(default_factory=dict)
+    algorithm: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+    baseline: str = ""
+
+    def add(self, impl: str, size: int, seconds: float, *,
+            dav: Optional[int] = None,
+            algorithm: Optional[str] = None) -> None:
+        self.times.setdefault(impl, {})[size] = seconds
+        if dav is not None:
+            self.dav.setdefault(impl, {})[size] = dav
+        if algorithm is not None:
+            self.algorithm.setdefault(impl, {})[size] = algorithm
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def impls(self) -> list:
+        return list(self.times)
+
+    def time(self, impl: str, size: int) -> float:
+        return self.times[impl][size]
+
+    def relative(self, impl: str, size: int) -> float:
+        base = self.baseline or self.impls()[0]
+        return self.times[impl][size] / self.times[base][size]
+
+    # ---- formatting --------------------------------------------------------
+
+    def render(self) -> str:
+        base = self.baseline or self.impls()[0]
+        w = max(18, max(len(i) for i in self.impls()) + 2)
+        out = [self.title, "=" * len(self.title), ""]
+        header = f"{'Msg Size':>10} " + "".join(
+            f"{i:>{w}}" for i in self.impls()
+        )
+        out.append("absolute simulated time (us):")
+        out.append(header)
+        for s in self.sizes:
+            row = f"{fmt_size(s):>10} "
+            for i in self.impls():
+                t = self.times[i].get(s)
+                row += f"{t * 1e6:>{w}.1f}" if t is not None else " " * w
+            out.append(row)
+        out.append("")
+        out.append(f"relative time overhead (vs {base}):")
+        out.append(header)
+        for s in self.sizes:
+            row = f"{fmt_size(s):>10} "
+            for i in self.impls():
+                t = self.times[i].get(s)
+                tb = self.times[base].get(s)
+                row += (
+                    f"{t / tb:>{w}.2f}" if t is not None and tb else " " * w
+                )
+            out.append(row)
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def emit(self, filename: str,
+             results_dir: Optional[Path] = None) -> str:
+        """Write the rendered table under the benchmark results
+        directory (resolved via discovery when not given) and echo it."""
+        if results_dir is None:
+            from repro.bench.discover import default_results_dir
+
+            results_dir = default_results_dir()
+        text = self.render()
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / filename).write_text(text + "\n")
+        print("\n" + text + "\n")
+        return text
+
+    # ---- JSON view ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The deterministic per-sweep payload of the JSON schema.
+
+        Sizes become string keys (JSON objects), and the relative view
+        mirrors the text table: ``relative_to_baseline[impl][size] =
+        t_impl / t_baseline`` (< 1 means ``impl`` beats the baseline).
+        """
+        base = self.baseline or (self.impls()[0] if self.times else "")
+        impls = {}
+        for i in self.impls():
+            entry: dict = {
+                "times": {str(s): t for s, t in self.times[i].items()}
+            }
+            if i in self.dav:
+                entry["dav"] = {str(s): d for s, d in self.dav[i].items()}
+            if i in self.algorithm:
+                entry["algorithm"] = {
+                    str(s): a for s, a in self.algorithm[i].items()
+                }
+            impls[i] = entry
+        relative = {}
+        for i in self.impls():
+            rel = {}
+            for s in self.sizes:
+                t, tb = self.times[i].get(s), self.times.get(base, {}).get(s)
+                if t is not None and tb:
+                    rel[str(s)] = t / tb
+            relative[i] = rel
+        return {
+            "title": self.title,
+            "baseline": base,
+            "sizes": list(self.sizes),
+            "impls": impls,
+            "relative_to_baseline": relative,
+            "notes": list(self.notes),
+        }
+
+    # ---- shape assertions ---------------------------------------------------
+
+    def assert_wins(self, winner: str, loser: str, *, at_least: Sequence[int],
+                    factor: float = 1.0) -> None:
+        """Assert ``winner`` is at least ``factor``x faster at the given
+        sizes — the 'who wins' shape contract."""
+        for s in at_least:
+            tw, tl = self.times[winner][s], self.times[loser][s]
+            assert tw * factor <= tl, (
+                f"{self.title}: expected {winner} <= {loser}/{factor} at "
+                f"{fmt_size(s)}, got {tw * 1e6:.1f}us vs {tl * 1e6:.1f}us"
+            )
+
+    def geomean_speedup(self, impl: str, over: str,
+                        sizes: Optional[Sequence[int]] = None) -> float:
+        sizes = list(sizes or self.sizes)
+        prod = 1.0
+        for s in sizes:
+            prod *= self.times[over][s] / self.times[impl][s]
+        return prod ** (1.0 / len(sizes))

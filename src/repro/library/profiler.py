@@ -21,7 +21,13 @@ class ProfileRecord:
 
     @property
     def dab(self) -> float:
-        return self.dav / self.time if self.time > 0 else float("inf")
+        """Data access bandwidth (bytes/s).
+
+        A zero-time record (degenerate, e.g. an empty payload) yields
+        ``0.0`` rather than infinity: infinities would poison aggregate
+        DAB statistics and are not representable in JSON.
+        """
+        return self.dav / self.time if self.time > 0 else 0.0
 
 
 @dataclass

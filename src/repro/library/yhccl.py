@@ -44,8 +44,12 @@ class CollectiveResult:
 
     @property
     def dab(self) -> float:
-        """Data access bandwidth (bytes/s): DAV over completion time."""
-        return self.dav / self.time if self.time > 0 else float("inf")
+        """Data access bandwidth (bytes/s): DAV over completion time.
+
+        Zero-time results report ``0.0`` (not infinity), keeping
+        aggregate statistics and JSON serialization well-defined.
+        """
+        return self.dav / self.time if self.time > 0 else 0.0
 
 
 def _platform_imax(comm: Communicator) -> int:

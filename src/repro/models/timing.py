@@ -48,7 +48,16 @@ def predict_time(kind: str, algorithm: str, s: int, p: int,
     else:
         traffic = dav / 4.0  # mostly cache-resident
     bw = machine.mem_bandwidth_node
-    sync_fn = _SYNC_STEPS.get(algorithm, lambda s, p, imax: p)
+    try:
+        sync_fn = _SYNC_STEPS[algorithm]
+    except KeyError:
+        # no silent fallback: a wrong-but-plausible sync count is worse
+        # than an error (the DAV formulas accept some algorithms, e.g.
+        # "xpmem", that this model has no sync-step form for)
+        raise KeyError(
+            f"no sync-step model for algorithm {algorithm!r}; known: "
+            f"{', '.join(sorted(_SYNC_STEPS))}"
+        ) from None
     syncs = sync_fn(s, p, imax)
     t_sync = syncs * machine.sync_latency_intra * 2
     return traffic / bw + t_sync

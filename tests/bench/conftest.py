@@ -1,0 +1,61 @@
+"""Fixtures for the benchmark execution layer tests.
+
+The tiny sweep runs real simulations (NodeA, p=8, two small sizes) so
+the parallel/serial and cache tests exercise the actual worker path
+while staying inside a per-test second or two.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.bench import Benchmark, SweepSpec, reduce_spec
+from repro.machine.spec import KB
+
+TINY_SWEEP = SweepSpec(
+    name="tiny_allreduce",
+    title="tiny all-reduce (NodeA, p=8)",
+    machine="NodeA",
+    p=8,
+    sizes=(64 * KB, 128 * KB),
+    impls=(
+        ("MA", reduce_spec("ma", "allreduce")),
+        ("Ring", reduce_spec("ring", "allreduce")),
+    ),
+    baseline="MA",
+)
+
+TINY_BENCH = Benchmark(name="tiny_allreduce", sweeps=(TINY_SWEEP,))
+
+
+@pytest.fixture
+def tiny_sweep() -> SweepSpec:
+    return TINY_SWEEP
+
+
+@pytest.fixture
+def tiny_bench() -> Benchmark:
+    return TINY_BENCH
+
+
+@pytest.fixture
+def custom_bench_dir(tmp_path, monkeypatch):
+    """A throwaway benchmarks directory with one custom benchmark."""
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    (bench_dir / "harness.py").write_text("")
+    (bench_dir / "bench_tiny_custom.py").write_text(textwrap.dedent(
+        """\
+        from repro.bench import Benchmark
+
+        BENCH = Benchmark(name="tiny_custom", custom="run_table")
+
+
+        def run_table():
+            return {"rows": {(64, "ma"): 1.5}, "note": "fixture"}
+        """
+    ))
+    monkeypatch.syspath_prepend(str(bench_dir))
+    return bench_dir

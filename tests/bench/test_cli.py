@@ -1,0 +1,20 @@
+"""The ``python -m repro bench`` front end."""
+
+from repro.__main__ import main
+
+
+class TestBenchCLI:
+    def test_list_exits_clean(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11_allreduce" in out
+        assert "table4_stream" in out
+        assert "custom (run_table)" in out
+
+    def test_unknown_name_is_an_error(self, capsys):
+        assert main(["bench", "no_such_benchmark"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_comma_separated_selection_validated(self, capsys):
+        assert main(["bench", "fig11_allreduce,bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err

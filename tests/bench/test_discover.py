@@ -1,0 +1,60 @@
+"""Benchmark discovery: directory resolution and BENCH collection."""
+
+import textwrap
+
+import pytest
+
+from repro.bench.discover import benchmarks_dir, load_benchmarks
+
+
+class TestBenchmarksDir:
+    def test_env_override(self, custom_bench_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(custom_bench_dir))
+        assert benchmarks_dir() == custom_bench_dir.resolve()
+
+    def test_env_override_must_hold_harness(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        with pytest.raises(FileNotFoundError, match="harness.py"):
+            benchmarks_dir()
+
+    def test_finds_checkout_benchmarks(self):
+        found = benchmarks_dir()
+        assert (found / "harness.py").exists()
+        assert list(found.glob("bench_*.py"))
+
+
+class TestLoadBenchmarks:
+    def test_collects_bench_declarations(self, custom_bench_dir):
+        found = load_benchmarks(custom_bench_dir)
+        assert set(found) == {"tiny_custom"}
+        assert found["tiny_custom"].module == "bench_tiny_custom"
+
+    def test_module_without_bench_rejected(self, custom_bench_dir):
+        (custom_bench_dir / "bench_rogue.py").write_text("X = 1\n")
+        with pytest.raises(AttributeError, match="bench_rogue"):
+            load_benchmarks(custom_bench_dir)
+
+    def test_duplicate_names_rejected(self, custom_bench_dir):
+        (custom_bench_dir / "bench_twin.py").write_text(textwrap.dedent(
+            """\
+            from repro.bench import Benchmark
+
+            BENCH = Benchmark(name="tiny_custom", custom="run_table")
+
+
+            def run_table():
+                return {}
+            """
+        ))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_benchmarks(custom_bench_dir)
+
+    def test_real_suite_loads_completely(self):
+        found = load_benchmarks(benchmarks_dir())
+        # every checked-in module declares a well-formed BENCH
+        assert len(found) == len(list(benchmarks_dir().glob("bench_*.py")))
+        # the figure sweeps and the custom tables are both represented
+        assert found["fig11_allreduce"].sweeps
+        assert found["fig15_state_of_the_art"].sweep("fig15_reduce")
+        assert found["table4_stream"].custom == "run_table"
+        assert found["fig16a_scalability"].sweeps[0].axis == "ranks"

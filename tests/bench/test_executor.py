@@ -1,0 +1,102 @@
+"""Execution layer: parallel == serial, suite JSON output, custom cells."""
+
+import json
+
+from repro.bench.cache import ResultCache
+from repro.bench.executor import (
+    exec_payload,
+    run_benchmark,
+    run_suite,
+    run_sweep_table,
+)
+
+
+class TestRunSweepTable:
+    def test_populates_times_dav_and_algorithms(self, tiny_sweep):
+        table = run_sweep_table(tiny_sweep)
+        for impl in ("MA", "Ring"):
+            for size in tiny_sweep.sizes:
+                assert table.time(impl, size) > 0
+                assert table.dav[impl][size] > 0
+        assert table.algorithm["MA"][64 * 1024] == "ma-allreduce"
+
+    def test_cells_execute_via_payload_roundtrip(self, tiny_sweep):
+        # the exact dict a worker process would receive
+        cell = next(tiny_sweep.cells())
+        payload = {"type": "cell", "machine": cell["machine"],
+                   "p": cell["p"], "nbytes": cell["nbytes"],
+                   "runner": cell["runner"]}
+        result = exec_payload(payload)
+        assert set(result) == {"time", "dav", "algorithm"}
+        assert result["time"] > 0
+
+
+class TestParallelEqualsSerial:
+    def test_byte_identical_json(self, tmp_path, tiny_bench):
+        dirs = {}
+        for jobs in (1, 2):
+            results = tmp_path / f"jobs{jobs}"
+            run_suite({tiny_bench.name: tiny_bench}, results_dir=results,
+                      jobs=jobs, use_cache=False)
+            dirs[jobs] = results
+        for name in ("BENCH_tiny_allreduce.json", "BENCH_summary.json"):
+            serial = (dirs[1] / name).read_bytes()
+            parallel = (dirs[2] / name).read_bytes()
+            assert serial == parallel, name
+
+
+class TestRunSuite:
+    def test_writes_documents_and_caches(self, tmp_path, tiny_bench):
+        results = tmp_path / "results"
+        summary, docs, cache = run_suite(
+            {tiny_bench.name: tiny_bench}, results_dir=results, jobs=1,
+        )
+        assert cache.hits == 0 and cache.misses == 4
+        doc = json.loads((results / "BENCH_tiny_allreduce.json").read_text())
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["benchmark"] == "tiny_allreduce"
+        assert len(doc["sweeps"]) == 1
+        summary2, _, cache2 = run_suite(
+            {tiny_bench.name: tiny_bench}, results_dir=results, jobs=1,
+        )
+        assert cache2.hits == 4 and cache2.misses == 0
+        assert summary2 == summary
+
+    def test_summary_reports_geomean_vs_baseline(self, tmp_path, tiny_bench):
+        summary, _, _ = run_suite(
+            {tiny_bench.name: tiny_bench}, results_dir=tmp_path, jobs=1,
+            use_cache=False,
+        )
+        entry = summary["benchmarks"]["tiny_allreduce"]
+        sweep = entry["sweeps"]["tiny all-reduce (NodeA, p=8)"]
+        assert sweep["baseline"] == "MA"
+        assert sweep["sizes"] == 2
+        assert sweep["geomean_time_vs_baseline"]["MA"] == 1.0
+        assert sweep["geomean_time_vs_baseline"]["Ring"] > 0
+
+
+class TestCustomBenchmark:
+    def test_runs_and_sanitizes(self, custom_bench_dir):
+        from repro.bench.discover import load_benchmarks
+
+        bench = load_benchmarks(custom_bench_dir)["tiny_custom"]
+        assert bench.module == "bench_tiny_custom"
+        res = run_benchmark(bench, bench_dir=custom_bench_dir)
+        # tuple keys are flattened to "a/b" strings by sanitize()
+        assert res.custom_payload == {"rows": {"64/ma": 1.5},
+                                      "note": "fixture"}
+
+    def test_custom_cell_caches_on_module_content(self, custom_bench_dir,
+                                                  tmp_path):
+        from repro.bench.discover import load_benchmarks
+
+        bench = load_benchmarks(custom_bench_dir)["tiny_custom"]
+        cache = ResultCache(tmp_path / "cache")
+        run_benchmark(bench, bench_dir=custom_bench_dir, cache=cache)
+        run_benchmark(bench, bench_dir=custom_bench_dir, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # editing the module invalidates its cell
+        path = custom_bench_dir / "bench_tiny_custom.py"
+        path.write_text(path.read_text() + "\n# edited\n")
+        run_benchmark(bench, bench_dir=custom_bench_dir, cache=cache)
+        assert cache.misses == 2

@@ -1,0 +1,90 @@
+"""Canonical JSON: sanitization, determinism, real-benchmark round-trips."""
+
+import dataclasses
+import json
+
+from repro.bench.executor import run_suite
+from repro.bench.jsonio import canonical_dumps, sanitize
+
+
+class TestSanitize:
+    def test_scalars_pass_through(self):
+        assert sanitize(None) is None
+        assert sanitize(True) is True
+        assert sanitize(42) == 42
+        assert sanitize(1.5) == 1.5
+        assert sanitize("x") == "x"
+
+    def test_nonfinite_floats_become_null(self):
+        assert sanitize(float("inf")) is None
+        assert sanitize(float("nan")) is None
+
+    def test_tuple_keys_join_with_slash(self):
+        assert sanitize({(64, "ma"): 1}) == {"64/ma": 1}
+
+    def test_nonstring_keys_stringified(self):
+        assert sanitize({65536: "s"}) == {"65536": "s"}
+
+    def test_dataclasses_become_dicts(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert sanitize(Point(1, float("inf"))) == {"x": 1, "y": None}
+
+    def test_sets_sorted_tuples_listified(self):
+        assert sanitize({"s": {2, 1}, "t": (1, 2)}) == \
+            {"s": [1, 2], "t": [1, 2]}
+
+    def test_result_always_json_dumpable(self):
+        class Odd:
+            pass
+
+        doc = sanitize({"o": Odd(), "f": float("-inf")})
+        json.dumps(doc, allow_nan=False)
+
+
+class TestCanonicalDumps:
+    def test_sorted_keys_trailing_newline(self):
+        text = canonical_dumps({"b": 1, "a": 2})
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("}\n")
+
+    def test_roundtrip_is_fixed_point(self):
+        doc = {"z": [1, 2], "a": {"nested": True}}
+        text = canonical_dumps(doc)
+        assert canonical_dumps(json.loads(text)) == text
+
+
+class TestRealBenchmarkRoundTrip:
+    """Schema round-trip for one real figure and one real table module."""
+
+    def test_figure_and_table_documents(self, tmp_path):
+        from repro.bench.discover import benchmarks_dir, load_benchmarks
+
+        available = load_benchmarks(benchmarks_dir())
+        selected = {
+            name: available[name]
+            for name in ("fig03_copyout", "table1_dav_reduce_scatter")
+        }
+        summary, docs, _ = run_suite(selected, results_dir=tmp_path,
+                                     jobs=1, use_cache=False)
+        for name in selected:
+            path = tmp_path / f"BENCH_{name}.json"
+            text = path.read_text()
+            doc = json.loads(text)
+            # round-trip: parsing and re-dumping reproduces the bytes
+            assert canonical_dumps(doc) == text
+            assert doc["schema"] == "repro-bench/1"
+            assert doc["benchmark"] == name
+            assert doc["custom"], name
+        fig = json.loads((tmp_path / "BENCH_fig03_copyout.json").read_text())
+        # two compiler profiles, five slice sizes each
+        assert len(fig["custom"]) == 2
+        assert all(len(rows) == 5 for rows in fig["custom"].values())
+        summary_text = (tmp_path / "BENCH_summary.json").read_text()
+        assert canonical_dumps(json.loads(summary_text)) == summary_text
+        assert set(summary["benchmarks"]) == set(selected)
+        assert all(entry["custom"] is True
+                   for entry in summary["benchmarks"].values())

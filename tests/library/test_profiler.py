@@ -61,6 +61,13 @@ class TestProfiler:
         rec = profiled.records[0]
         assert rec.dab == pytest.approx(rec.dav / rec.time)
 
+    def test_dab_zero_time_is_zero_not_inf(self):
+        from repro.library.profiler import ProfileRecord
+
+        rec = ProfileRecord(kind="allreduce", nbytes=0, time=0.0,
+                            dav=64 * KB, algorithm="ma")
+        assert rec.dab == 0.0
+
     def test_non_collective_attr_raises(self, profiled):
         with pytest.raises(AttributeError):
             profiled.alltoall

@@ -27,6 +27,12 @@ class TestAPI:
         assert r.time_us == pytest.approx(r.time * 1e6)
         assert r.dab == pytest.approx(r.dav / r.time)
 
+    def test_dab_zero_time_is_zero_not_inf(self):
+        r = CollectiveResult(kind="allreduce", nbytes=0, time=0.0, dav=0,
+                             memory_traffic=0, sync_count=0,
+                             algorithm="ma", copy_policy="memmove")
+        assert r.dab == 0.0
+
     def test_all_five_collectives(self, lib):
         for call in (lib.allreduce, lib.reduce_scatter, lib.bcast,
                      lib.allgather):

@@ -24,6 +24,16 @@ class TestAllKinds:
         with pytest.raises(ValueError):
             predict_time("allreduce", "quantum", 1 * MB, 64, NODE_A)
 
+    def test_no_silent_sync_step_fallback(self):
+        # "xpmem" has a DAV formula but no sync-step model; the old code
+        # silently borrowed MA's step count and returned a wrong estimate
+        with pytest.raises(KeyError, match="xpmem"):
+            predict_time("allreduce", "xpmem", 1 * MB, 64, NODE_A)
+
+    def test_sync_step_error_lists_known_algorithms(self):
+        with pytest.raises(KeyError, match="ma.*ring|ring.*ma"):
+            predict_time("allreduce", "xpmem", 1 * MB, 64, NODE_A)
+
     def test_cache_resident_branch_cheaper(self):
         # tiny message: the W <= C branch divides traffic by 4
         small = predict_time("allreduce", "ma", 64 * KB, 64, NODE_A)
