@@ -24,6 +24,13 @@ Commands
     ``docs/analysis.md``).  ``analyze all`` sweeps the whole matrix;
     exits non-zero when any check fails.
 
+``verify <collective>``
+    Exhaustive schedule verification: DPOR model checking of every
+    Mazurkiewicz-distinct interleaving at small rank counts, plus an
+    optional simulated-memory sanitizer (``--sanitize``).  Failures
+    are minimized to replayable schedule certificates
+    (``--cert-out``); ``--replay`` re-runs a saved certificate.
+
 ``bench <name>|all``
     The benchmark suite: fans sweep cells out over worker processes
     (``--jobs N``), memoizes results in ``benchmarks/results/cache/``
@@ -91,6 +98,26 @@ def main(argv=None) -> int:
     ana.add_argument("--schedule-seed", type=int, default=None,
                      help="randomize the engine schedule")
 
+    ver = sub.add_parser(
+        "verify", help="DPOR exhaustive interleaving verification"
+    )
+    ver.add_argument("collective", nargs="?", default="all",
+                     help="matrix name (see 'info') or 'all'")
+    ver.add_argument("-n", "--ranks", type=int, default=3,
+                     help="rank count to explore at (default 3; keep <= 4)")
+    ver.add_argument("-s", "--size", type=int, default=1024,
+                     help="message size in bytes (default 1024)")
+    ver.add_argument("--max-schedules", type=int, default=None,
+                     help="exploration budget per case (default 1000)")
+    ver.add_argument("--sanitize", action="store_true",
+                     help="byte-granular shadow-memory checks per access")
+    ver.add_argument("--cert-out", default="",
+                     help="write failing schedule certificates (JSON) "
+                          "into this directory")
+    ver.add_argument("--replay", default="",
+                     help="replay a saved certificate file instead of "
+                          "exploring")
+
     rep = sub.add_parser("report", help="assemble benchmark result report")
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--out", default="")
@@ -157,6 +184,49 @@ def main(argv=None) -> int:
             print(render_results(results))
             failed = failed or any(not r.ok for r in results)
         return 1 if failed else 0
+
+    if args.command == "verify":
+        from pathlib import Path
+
+        from repro.analysis.mc import (
+            DEFAULT_BUDGET,
+            render_verification,
+            replay_certificate,
+            verify_collective,
+        )
+        from repro.sim.replay import certificate_from_json, certificate_to_json
+
+        if args.replay:
+            try:
+                cert = certificate_from_json(Path(args.replay).read_text())
+                outcome = replay_certificate(cert)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(cert.describe())
+            print(outcome.describe())
+            return 0 if outcome.reproduced else 1
+        budget = (args.max_schedules if args.max_schedules is not None
+                  else DEFAULT_BUDGET)
+        try:
+            results = verify_collective(
+                args.collective, nranks=args.ranks, s=args.size,
+                sanitize=args.sanitize, max_schedules=budget,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_verification(results))
+        if args.cert_out:
+            out = Path(args.cert_out)
+            out.mkdir(parents=True, exist_ok=True)
+            for res in results:
+                if res.certificate is None:
+                    continue
+                path = out / f"{res.label.replace('/', '_')}.cert.json"
+                path.write_text(certificate_to_json(res.certificate))
+                print(f"wrote {path}")
+        return 1 if any(not r.ok for r in results) else 0
 
     if args.command == "bench":
         from repro.bench.cli import run_bench_command

@@ -26,6 +26,7 @@ from repro.analysis.dav import DavCheck, check_dav, predicted_dav, traced_dav
 from repro.analysis.hb import (
     MAX_REPORTED_RACES,
     Race,
+    RaceList,
     StampedAccess,
     find_races,
     race_check,
@@ -38,6 +39,7 @@ __all__ = [
     "AnalysisReport",
     "analyze_trace",
     "Race",
+    "RaceList",
     "StampedAccess",
     "ScheduleIssue",
     "DavCheck",
@@ -59,6 +61,9 @@ class AnalysisReport:
     nranks: int
     races: List[Race] = field(default_factory=list)
     total_races: int = 0
+    #: exact per-kind tallies over *all* races, not just the reported
+    #: ones — ``{"write-write": n, "read-write": m}``
+    race_kinds: dict = field(default_factory=dict)
     issues: List[ScheduleIssue] = field(default_factory=list)
     dav: Optional[DavCheck] = None
 
@@ -74,11 +79,18 @@ class AnalysisReport:
     def describe(self) -> str:
         lines: List[str] = []
         if self.total_races:
-            shown = len(self.races)
-            lines.append(f"{self.total_races} race(s)"
-                         + (f" ({shown} shown)"
-                            if shown < self.total_races else "") + ":")
+            kinds = self.race_kinds or {}
+            if not kinds:
+                for r in self.races:
+                    kinds[r.kind] = kinds.get(r.kind, 0) + 1
+            detail = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+            lines.append(f"{self.total_races} race(s) ({detail}):")
             lines += [f"  - {r.describe()}" for r in self.races]
+            hidden = self.total_races - len(self.races)
+            if hidden > 0:
+                lines.append(f"  ... and {hidden} more race(s) not shown "
+                             f"(all {self.total_races} counted; raise "
+                             f"max_reports to list them)")
         if self.issues:
             lines.append(f"{len(self.issues)} schedule issue(s):")
             lines += [f"  - {i.describe()}" for i in self.issues]
@@ -107,4 +119,5 @@ def analyze_trace(trace: Trace, nranks: int, *,
     if dav_kind is not None:
         dav = check_dav(trace, dav_kind, dav_algorithm, s, nranks, m=m, k=k)
     return AnalysisReport(nranks=nranks, races=races, total_races=total,
+                          race_kinds=dict(getattr(races, "kind_totals", {})),
                           issues=issues, dav=dav)

@@ -27,7 +27,7 @@ Access ``a`` happens-before access ``b`` iff
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.trace import AccessEvent, SyncEvent, Trace
 
@@ -117,13 +117,28 @@ def _join(vc: List[List[int]], members, nranks: int) -> None:
         row[m] += 1
 
 
+class RaceList(List[Race]):
+    """The reported races, carrying **exact** per-kind totals.
+
+    Reporting is truncated at ``max_reports`` but :attr:`kind_totals`
+    counts every race found (``{"write-write": n, "read-write": m}``),
+    so a truncated report can never read as "only N races".
+    """
+
+    def __init__(self, items: Sequence[Race] = (),
+                 kind_totals: Optional[Dict[str, int]] = None):
+        super().__init__(items)
+        self.kind_totals: Dict[str, int] = dict(kind_totals or {})
+
+
 def find_races(stamped: Sequence[StampedAccess],
                *, max_reports: int = MAX_REPORTED_RACES
-               ) -> Tuple[List[Race], int]:
+               ) -> Tuple[RaceList, int]:
     """All unordered conflicting access pairs.
 
     Returns ``(reported_races, total_count)``; reporting is capped at
-    ``max_reports`` but counting is exact.
+    ``max_reports`` but counting — overall and per kind (see
+    :class:`RaceList`) — is exact.
 
     Complexity: accesses are bucketed per buffer into *elementary
     intervals* (the ranges cut by every access boundary), so only pairs
@@ -137,6 +152,7 @@ def find_races(stamped: Sequence[StampedAccess],
     races: List[Race] = []
     seen: set = set()
     total = 0
+    kind_totals: Dict[str, int] = {}
     for accesses in by_buf.values():
         if len({sa.event.rank for sa in accesses}) < 2:
             continue
@@ -156,6 +172,9 @@ def find_races(stamped: Sequence[StampedAccess],
                         continue
                     seen.add(key)
                     total += 1
+                    kind = ("write-write" if ea.mode == "w" and eb.mode == "w"
+                            else "read-write")
+                    kind_totals[kind] = kind_totals.get(kind, 0) + 1
                     if len(races) < max_reports:
                         lo = max(ea.off, eb.off)
                         hi = min(ea.end, eb.end)
@@ -169,7 +188,7 @@ def find_races(stamped: Sequence[StampedAccess],
                                 overlap=(lo, hi),
                             )
                         )
-    return races, total
+    return RaceList(races, kind_totals), total
 
 
 def _interval_buckets(accesses: Sequence[StampedAccess]
@@ -195,7 +214,7 @@ def _interval_buckets(accesses: Sequence[StampedAccess]
 
 def race_check(trace: Trace, nranks: int,
                *, max_reports: int = MAX_REPORTED_RACES
-               ) -> Tuple[List[Race], int]:
+               ) -> Tuple[RaceList, int]:
     """Stamp a trace's events and return its races."""
     stamped = stamp_accesses(trace.events, nranks)
     return find_races(stamped, max_reports=max_reports)

@@ -1,0 +1,67 @@
+"""The dependence relation between scheduler steps.
+
+DPOR explores one representative per *Mazurkiewicz trace* — the
+equivalence class of interleavings reachable from each other by
+swapping adjacent **independent** steps.  Two steps commute (are
+independent) iff executing them in either order reaches the same state
+and leaves both enabled; everything the checker prunes rests on this
+relation, so it must over-approximate true dependence, never under.
+
+A step (:class:`~repro.sim.scheduler.StepRecord`) is one rank's
+execution from its resume point to its next yield, carrying the byte
+ranges its data ops touched and the sync tags it posted/consumed.
+Steps are **dependent** when any of:
+
+* same rank — program order is never commutable;
+* data conflict — overlapping byte ranges of one buffer, at least one
+  side writing (the same conflict relation PR 1's happens-before
+  analyzer races on);
+* post/wait on the same tag — reordering changes whether the wait is
+  satisfiable at that point;
+* post/post on the same tag — conservative: waits match the first
+  ``count`` posts, so post order is observable through matched
+  snapshots (the timing model reads each matched post's clock).
+
+Wait/wait pairs and barrier arrivals commute: waits consume nothing
+and barrier completion joins all members regardless of arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.sim.scheduler import StepRecord
+
+Range = Tuple[int, int, int]  # (buf_id, off, end)
+
+
+def ranges_overlap(a: Iterable[Range], b: Iterable[Range]) -> bool:
+    """Any byte shared between the two range sets (same buffer)."""
+    for buf_a, lo_a, hi_a in a:
+        for buf_b, lo_b, hi_b in b:
+            if buf_a == buf_b and lo_a < hi_b and lo_b < hi_a:
+                return True
+    return False
+
+
+def data_conflict(a: StepRecord, b: StepRecord) -> bool:
+    """Overlapping accesses with at least one write."""
+    return (
+        ranges_overlap(a.writes, b.writes)
+        or ranges_overlap(a.writes, b.reads)
+        or ranges_overlap(a.reads, b.writes)
+    )
+
+
+def sync_conflict(a: StepRecord, b: StepRecord) -> bool:
+    """Post/wait or post/post on a shared tag."""
+    pa, wa = set(a.posts), set(a.waits)
+    pb, wb = set(b.posts), set(b.waits)
+    return bool((pa & wb) or (pb & wa) or (pa & pb))
+
+
+def dependent(a: StepRecord, b: StepRecord) -> bool:
+    """The DPOR dependence relation (see module docstring)."""
+    if a.rank == b.rank:
+        return True
+    return data_conflict(a, b) or sync_conflict(a, b)

@@ -1,0 +1,164 @@
+"""Stateless DPOR exploration over the controlled engine scheduler.
+
+Classic dynamic partial-order reduction (Flanagan & Godefroid, POPL'05)
+with sleep sets, adapted to re-execution: the explored object is a
+*schedule* — a forced-choice prefix handed to
+:class:`~repro.sim.scheduler.ControlledScheduler`, past which the run
+continues deterministically (smallest enabled rank).  The engine's rank
+programs are deterministic generators, so replaying a prefix always
+reconstructs the same intermediate state; no state snapshotting is
+needed.
+
+Per executed schedule the explorer:
+
+1. merges the step list into the exploration tree path (each
+   :class:`Node` is the state before its step, holding the enabled
+   set, the explored-children set, the DPOR backtrack set and the
+   sleep set);
+2. runs the race scan — for every step ``i`` by rank ``p``, find the
+   last earlier step ``j`` of another rank **dependent** with it
+   (:func:`~repro.analysis.mc.conflict.dependent`); add ``p`` to
+   ``backtrack(pre(j))`` when ``p`` was enabled there, else
+   conservatively add the whole enabled set (the persistent-set
+   fallback);
+3. picks the deepest node with an unexplored, non-sleeping backtrack
+   candidate, truncates, and re-executes with the new prefix.
+
+Sleep sets (Godefroid) prune re-exploration of commuting siblings:
+a child inherits its parent's sleeping transitions plus the parent's
+already-explored choices, minus any transition dependent with the step
+just taken.  A sleeping rank is never picked as a backtrack candidate.
+Sleeping transitions carry the footprint recorded when they were first
+explored — sound because a never-rescheduled rank's generator hasn't
+moved, so its next transition is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.mc.conflict import dependent
+from repro.sim.scheduler import StepRecord
+
+
+@dataclass
+class Node:
+    """One state on the current exploration path (before its step)."""
+
+    index: int
+    enabled: Tuple[int, ...]
+    choice: int = -1
+    #: ranks whose subtree from this node is fully explored
+    done: Set[int] = field(default_factory=set)
+    #: DPOR backtrack set — ranks that must eventually be tried here
+    backtrack: Set[int] = field(default_factory=set)
+    #: sleeping transitions: rank -> footprint when it went to sleep
+    sleep: Dict[int, StepRecord] = field(default_factory=dict)
+    #: footprint of each rank's step when executed *from this node*
+    fps: Dict[int, StepRecord] = field(default_factory=dict)
+
+    def candidates(self) -> Set[int]:
+        return (self.backtrack - self.done - set(self.sleep)) & set(
+            self.enabled
+        )
+
+
+class Explorer:
+    """Enumerate DPOR-distinct schedules of a deterministic program.
+
+    ``execute(choices)`` must re-run the program under a fresh engine
+    with the given forced prefix and return the resulting step list
+    (``ControlledScheduler.steps``).  :meth:`run` yields the choice
+    prefix of every schedule actually executed; :attr:`complete` tells
+    whether the search space was exhausted within ``max_schedules``.
+    """
+
+    def __init__(self, execute: Callable[[List[int]], Sequence[StepRecord]],
+                 *, max_schedules: int = 0):
+        self._execute = execute
+        self.max_schedules = max_schedules
+        self.schedules_run = 0
+        self.complete = False
+        self.path: List[Node] = []
+
+    def run(self) -> Iterator[List[int]]:
+        choices: List[int] = []
+        while True:
+            if self.max_schedules and self.schedules_run >= self.max_schedules:
+                self.complete = False
+                return
+            steps = list(self._execute(list(choices)))
+            self.schedules_run += 1
+            self._merge(steps)
+            self._scan_races(steps)
+            yield list(choices)
+            nxt = self._next_backtrack()
+            if nxt is None:
+                self.complete = True
+                return
+            i, q = nxt
+            del self.path[i + 1:]
+            choices = [self.path[k].choice for k in range(i)] + [q]
+
+    # ---- tree maintenance -------------------------------------------------
+
+    def _merge(self, steps: Sequence[StepRecord]) -> None:
+        """Fold an executed step list into the path.
+
+        Nodes up to the forced prefix already exist (re-execution
+        reconstructs the same states); the suffix creates new nodes,
+        computing each child's sleep set from its parent.
+        """
+        for j, s in enumerate(steps):
+            if j < len(self.path):
+                node = self.path[j]
+                if node.enabled != s.enabled:  # pragma: no cover - guard
+                    raise RuntimeError(
+                        f"non-deterministic replay at step {j}: enabled "
+                        f"{node.enabled} became {s.enabled}"
+                    )
+            else:
+                node = Node(index=j, enabled=s.enabled,
+                            sleep=self._child_sleep(j, steps))
+                self.path.append(node)
+            node.choice = s.rank
+            node.done.add(s.rank)
+            node.fps[s.rank] = s
+            # every execution must eventually try some sibling here;
+            # seeding with the executed choice makes the node's own
+            # exploration state explicit
+            node.backtrack.add(s.rank)
+
+    def _child_sleep(self, j: int, steps: Sequence[StepRecord]
+                     ) -> Dict[int, StepRecord]:
+        if j == 0:
+            return {}
+        parent = self.path[j - 1]
+        taken = steps[j - 1]
+        carried: Dict[int, StepRecord] = dict(parent.sleep)
+        for r in parent.done:
+            if r != taken.rank and r in parent.fps:
+                carried[r] = parent.fps[r]
+        return {r: fp for r, fp in carried.items()
+                if not dependent(fp, taken)}
+
+    def _scan_races(self, steps: Sequence[StepRecord]) -> None:
+        for i, s in enumerate(steps):
+            for j in range(i - 1, -1, -1):
+                t = steps[j]
+                if t.rank == s.rank or not dependent(t, s):
+                    continue
+                node = self.path[j]
+                if s.rank in node.enabled:
+                    node.backtrack.add(s.rank)
+                else:
+                    node.backtrack.update(node.enabled)
+                break
+
+    def _next_backtrack(self) -> Optional[Tuple[int, int]]:
+        for i in range(len(self.path) - 1, -1, -1):
+            cands = self.path[i].candidates()
+            if cands:
+                return i, min(cands)
+        return None

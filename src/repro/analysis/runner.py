@@ -104,6 +104,20 @@ def _cases() -> List[Case]:
     return cases
 
 
+def cases(name: str = "all") -> List[Case]:
+    """The analysis matrix, filtered to collective ``name`` (or all).
+
+    Shared with :mod:`repro.analysis.mc` so ``verify`` explores exactly
+    the programs ``analyze`` certifies.
+    """
+    matched = [c for c in _cases() if name == "all" or c.collective == name]
+    if not matched:
+        raise ValueError(
+            f"unknown collective {name!r}; choose from {collectives()}"
+        )
+    return matched
+
+
 def collectives() -> List[str]:
     """Matrix names accepted by :func:`analyze_collective`."""
     return sorted({c.collective for c in _cases()})
@@ -115,14 +129,8 @@ def analyze_collective(name: str, *, machine: Optional[MachineSpec] = None,
                        ) -> List[CaseResult]:
     """Trace and analyze every kind of collective ``name``
     (or all collectives for ``name == "all"``)."""
-    cases = [c for c in _cases()
-             if name == "all" or c.collective == name]
-    if not cases:
-        raise ValueError(
-            f"unknown collective {name!r}; choose from {collectives()}"
-        )
     results = []
-    for case in cases:
+    for case in cases(name):
         results.append(_analyze_case(case, machine=machine, nranks=nranks,
                                      s=s, schedule_seed=schedule_seed))
     return results

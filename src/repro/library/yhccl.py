@@ -145,6 +145,44 @@ class YHCCL:
             pass  # the trace carries the blocked certificates
         return analyze_trace(eng.trace, eng.nranks)
 
+    def verify(self, kind: str, nbytes: int, *, op: str = "sum",
+               nranks: Optional[int] = None, sanitize: bool = False,
+               max_schedules: Optional[int] = None):
+        """Model-check the algorithm YHCCL would select for
+        ``(kind, nbytes)``.
+
+        Where :meth:`analyze` certifies the one interleaving the engine
+        executed, ``verify`` explores **every** DPOR-distinct
+        interleaving of the selected algorithm on a functional twin
+        (``nranks`` defaults to ``min(self.comm.nranks, 3)`` — the
+        schedule space grows fast) and checks output equality, race
+        freedom and the DAV invariant at each terminal state.  Returns
+        a :class:`~repro.analysis.mc.VerifyCaseResult`; a failure
+        carries a minimized replayable schedule certificate.
+        """
+        from repro.analysis.mc import DEFAULT_BUDGET, verify_program
+
+        sel = self._select(kind, nbytes) if kind in ("bcast", "allgather") \
+            else select(kind, nbytes, self.config, op=op)
+        runner = {
+            "bcast": run_bcast_collective,
+            "allgather": run_allgather_collective,
+        }.get(kind, run_reduce_collective)
+        kw = {} if kind in ("bcast", "allgather") else {"op": op}
+        p = min(self.comm.nranks, 3) if nranks is None else nranks
+
+        def run(eng):
+            runner(sel.algorithm, eng, nbytes,
+                   copy_policy=sel.copy_policy, imax=self.config.imax, **kw)
+
+        return verify_program(
+            run, nranks=p, label=f"{sel.algorithm.name}/{kind}",
+            collective=sel.algorithm.name, kind=kind, s=nbytes,
+            sanitize=sanitize,
+            max_schedules=(max_schedules if max_schedules is not None
+                           else DEFAULT_BUDGET),
+        )
+
     # ---- internals ---------------------------------------------------------------
 
     def _select(self, kind: str, nbytes: int) -> Selection:

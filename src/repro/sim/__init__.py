@@ -18,7 +18,13 @@ Two modes share one code path:
   large-message sweeps without allocating gigabytes.
 """
 
-from repro.sim.buffers import Buffer, BufView, SharedBuffer
+from repro.sim.buffers import (
+    Buffer,
+    BufView,
+    Sanitizer,
+    SanitizerError,
+    SharedBuffer,
+)
 from repro.sim.engine import (
     BlockedInfo,
     DeadlockError,
@@ -26,13 +32,25 @@ from repro.sim.engine import (
     RankCtx,
     RunResult,
 )
+from repro.sim.scheduler import (
+    ControlledScheduler,
+    FifoScheduler,
+    SchedulerPolicy,
+    StepRecord,
+)
 from repro.sim.timeline import render_timeline, rank_stats, critical_rank
 from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
 
 __all__ = [
     "Buffer",
     "BufView",
+    "Sanitizer",
+    "SanitizerError",
     "SharedBuffer",
+    "SchedulerPolicy",
+    "FifoScheduler",
+    "ControlledScheduler",
+    "StepRecord",
     "Engine",
     "RankCtx",
     "RunResult",

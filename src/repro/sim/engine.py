@@ -39,7 +39,15 @@ import numpy as np
 
 from repro.machine.memory import MemorySystem, TrafficCounters
 from repro.machine.spec import MachineSpec
-from repro.sim.buffers import Buffer, BufView, SharedBuffer, alloc, alloc_shared
+from repro.sim.buffers import (
+    Buffer,
+    BufView,
+    Sanitizer,
+    SharedBuffer,
+    alloc,
+    alloc_shared,
+)
+from repro.sim.scheduler import FifoScheduler, SchedulerPolicy
 from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
 
 REDUCE_OPS = {
@@ -89,14 +97,31 @@ class BlockedInfo:
     def missing(self) -> tuple:
         return tuple(r for r in self.group if r not in self.arrived)
 
+    @property
+    def posts_by_rank(self) -> dict:
+        """Pending posts on the waited tag, aggregated per poster —
+        distinguishes "3 posts from 3 ranks" from "3 posts, all from
+        rank 0" when diagnosing partial-post deadlocks."""
+        per: dict = {}
+        for r in self.posters:
+            per[r] = per.get(r, 0) + 1
+        return per
+
     def describe(self) -> str:
         if self.kind == "wait":
-            who = f" from ranks {self.posters}" if self.posters else ""
+            who = ""
+            if self.posters:
+                per = self.posts_by_rank
+                who = " from " + ", ".join(
+                    f"rank {r}" + (f" x{n}" if n > 1 else "")
+                    for r, n in sorted(per.items())
+                )
             return (f"rank {self.rank}: wait({self.tag!r}, count={self.count}) "
-                    f"has {self.have} post(s){who} — "
+                    f"has {self.have} post(s) of {self.count} required{who} — "
                     f"{self.count - self.have} will never arrive")
         return (f"rank {self.rank}: barrier{self.group} arrived="
-                f"{self.arrived} — waiting for ranks {self.missing}")
+                f"{self.arrived} ({len(self.arrived)} of {len(self.group)}) "
+                f"— waiting for ranks {self.missing}")
 
 
 class DeadlockError(RuntimeError):
@@ -193,6 +218,8 @@ class RankCtx:
             raise ValueError(
                 f"copy size mismatch: {src.nbytes} -> {dst.nbytes} bytes"
             )
+        if eng.sanitizer is not None:
+            eng.sanitizer.check_access(self.rank, "copy", (src,), (dst,))
         t0 = self.clock
         if eng.functional and not (src.is_virtual or dst.is_virtual):
             np.copyto(dst.array(), src.array())
@@ -226,6 +253,8 @@ class RankCtx:
         for s in srcs:
             if s.nbytes != n:
                 raise ValueError("reduce operand size mismatch")
+        if eng.sanitizer is not None:
+            eng.sanitizer.check_access(self.rank, kind, tuple(srcs), (dst,))
         t0 = self.clock
         if eng.functional and not (dst.is_virtual or any(s.is_virtual for s in srcs)):
             ufunc = resolve_ufunc(op)
@@ -253,6 +282,8 @@ class RankCtx:
     def touch(self, view: BufView) -> None:
         """Load a view without copying (e.g. application reads a result)."""
         eng = self.engine
+        if eng.sanitizer is not None:
+            eng.sanitizer.check_access(self.rank, "touch", (view,), ())
         t0 = self.clock
         if eng.memsys is not None:
             self.clock += eng.memsys.load(self.rank, view.buf, view.off, view.nbytes)
@@ -264,6 +295,8 @@ class RankCtx:
     def post(self, tag: object) -> None:
         """Signal ``tag`` (atomic flag update; non-blocking)."""
         eng = self.engine
+        if eng.sanitizer is not None:
+            eng.sanitizer.on_sync()
         seq = 0
         if eng.trace is not None:
             seq = eng.trace.next_seq()
@@ -304,12 +337,24 @@ class Engine:
         seed: int = 12345,
         schedule_seed: Optional[int] = None,
         cache_model: str = "region",
+        scheduler: Optional[SchedulerPolicy] = None,
+        sanitize: bool = False,
     ):
         """``schedule_seed`` randomizes the order runnable ranks are
         scheduled in.  A correct collective synchronizes every cross-rank
         dependency, so its *functional result must be identical under
         every schedule* — the property tests drive this as a concurrency
-        fuzzer.  ``None`` keeps the deterministic FIFO order."""
+        fuzzer.  ``None`` keeps the deterministic FIFO order.
+
+        ``scheduler`` plugs in a :class:`~repro.sim.scheduler.SchedulerPolicy`
+        (default :class:`~repro.sim.scheduler.FifoScheduler`, which is
+        byte-for-byte the historical behaviour); controlled policies
+        let :mod:`repro.analysis.mc` enumerate interleavings.
+
+        ``sanitize`` attaches byte-granular shadow state to every
+        buffer this engine allocates, flagging uninitialized reads and
+        same-epoch overlapping writes at access time (see
+        :class:`~repro.sim.buffers.Sanitizer`)."""
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         if machine is not None:
@@ -330,6 +375,9 @@ class Engine:
             if schedule_seed is not None
             else None
         )
+        self.scheduler: SchedulerPolicy = scheduler or FifoScheduler()
+        self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize else None
+        self.buffers: list = []
         self._posts: dict = {}
         self._barrier_seq: dict = {}
         self._barrier_arrivals: dict = {}
@@ -351,12 +399,24 @@ class Engine:
         )
         if self.memsys is not None:
             buf.home_socket = self.memsys.socket_of_rank(rank)
+        if self.sanitizer is not None:
+            # fill/random allocations model initialized memory; a plain
+            # alloc is zero-filled for determinism but semantically
+            # uninitialized, so the sanitizer flags reads before writes
+            self.sanitizer.attach(buf, initialized=fill is not None or random)
+        self.buffers.append(buf)
         return buf
 
     def alloc_shared(self, nbytes: int, *, name: str = "shm") -> SharedBuffer:
-        return alloc_shared(
+        buf = alloc_shared(
             nbytes, dtype=self.dtype, functional=self.functional, name=name
         )
+        if self.sanitizer is not None:
+            # shared segments are zero-filled (POSIX shm) but no rank
+            # has produced their contents yet: read-before-write is a bug
+            self.sanitizer.attach(buf, initialized=False)
+        self.buffers.append(buf)
+        return buf
 
     # ---- tracing -----------------------------------------------------------------
 
@@ -422,13 +482,15 @@ class Engine:
     # ---- the scheduler -------------------------------------------------------------
 
     def run(self, program: Callable, ranks: Optional[Sequence[int]] = None,
-            *, reset_clocks: bool = True, start_times: Optional[list] = None
-            ) -> RunResult:
+            *, reset_clocks: bool = True, start_times: Optional[list] = None,
+            scheduler: Optional[SchedulerPolicy] = None) -> RunResult:
         """Run ``program(ctx)`` on every rank in ``ranks`` to completion.
 
         ``program`` may be a plain function (no internal syncs) or a
-        generator function yielding sync events.
+        generator function yielding sync events.  ``scheduler``
+        overrides the engine's scheduling policy for this run.
         """
+        policy = scheduler if scheduler is not None else self.scheduler
         ranks = list(range(self.nranks)) if ranks is None else list(ranks)
         if self.memsys is not None:
             self.memsys.set_active_ranks(ranks)
@@ -437,6 +499,8 @@ class Engine:
         self._barrier_seq.clear()
         self._barrier_arrivals.clear()
         self._sync_count = 0
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync()
         if self.trace is not None:
             # Back-to-back collectives on one engine are separated by a
             # global synchronization (the previous run drained fully);
@@ -462,17 +526,36 @@ class Engine:
             else:
                 done.add(r)
 
-        blocked: dict[int, object] = {}
-        runnable = deque(r for r in ranks if r in gens)
+        policy.begin_run(self, [r for r in ranks if r in gens])
+        if policy.controlled:
+            self._run_controlled(policy, ctxs, gens, done)
+        else:
+            self._run_cooperative(policy, ctxs, gens, done)
 
+        times = [0.0] * self.nranks
+        for r in ranks:
+            times[r] = ctxs[r].clock
+        return RunResult(
+            times=[times[r] for r in ranks] if ranks != list(range(self.nranks))
+            else times,
+            traffic=self.memsys.counters if self.memsys else None,
+            per_rank_traffic=self.memsys.per_rank if self.memsys else None,
+            trace=self.trace,
+            sync_count=self._sync_count,
+        )
+
+    def _run_cooperative(self, policy: SchedulerPolicy, ctxs, gens, done
+                         ) -> None:
+        """The historical greedy loop: the picked rank runs until it
+        actually blocks; other ranks' satisfiable waits are released
+        eagerly as posts arrive.  With :class:`FifoScheduler` this is
+        byte-for-byte the pre-policy engine."""
+        blocked: dict[int, object] = {}
+        runnable = deque(r for r in ctxs if r in gens)
         while runnable or blocked:
             if not runnable:
                 self._diagnose_deadlock(blocked, ctxs)
-            if self._sched_rng is not None and len(runnable) > 1:
-                runnable.rotate(
-                    int(self._sched_rng.integers(0, len(runnable)))
-                )
-            r = runnable.popleft()
+            r = policy.pick(self, runnable)
             gen = gens[r]
             ctx = ctxs[r]
             while True:
@@ -500,17 +583,50 @@ class Engine:
                     del blocked[br]
                     runnable.append(br)
 
-        times = [0.0] * self.nranks
-        for r in ranks:
-            times[r] = ctxs[r].clock
-        return RunResult(
-            times=[times[r] for r in ranks] if ranks != list(range(self.nranks))
-            else times,
-            traffic=self.memsys.counters if self.memsys else None,
-            per_rank_traffic=self.memsys.per_rank if self.memsys else None,
-            trace=self.trace,
-            sync_count=self._sync_count,
-        )
+    def _run_controlled(self, policy: SchedulerPolicy, ctxs, gens, done
+                        ) -> None:
+        """One policy decision per step: resume the chosen rank to its
+        next yield, resolve the sync it attempted, return control.
+
+        The enabled set handed to the policy is every rank that can
+        make progress: runnable ranks plus blocked ranks whose wait
+        became satisfiable (released lazily when scheduled, which is
+        observationally equivalent to the cooperative loop's eager
+        release — waits are non-consuming and match a prefix of the
+        append-only post list).
+        """
+        blocked: dict[int, object] = {}
+        while gens:
+            enabled = tuple(sorted(
+                r for r in gens
+                if r not in blocked
+                or (isinstance(blocked[r], _Wait)
+                    and self._wait_ready(blocked[r]))
+            ))
+            if not enabled:
+                self._diagnose_deadlock(blocked, ctxs)
+            r = policy.pick(self, enabled)
+            if r not in enabled:
+                raise ValueError(
+                    f"scheduler chose rank {r} outside enabled set {enabled}"
+                )
+            ctx = ctxs[r]
+            pending = blocked.pop(r, None)
+            if pending is not None:
+                self._release_wait(ctx, pending)
+            try:
+                ev = next(gens[r])
+            except StopIteration:
+                done.add(r)
+                del gens[r]
+                policy.observe(self, r, None)
+                continue
+            satisfied, newly = self._handle_event(r, ctx, ev, ctxs)
+            for nr in newly:
+                blocked.pop(nr, None)
+            if not satisfied:
+                blocked[r] = ev
+            policy.observe(self, r, ev)
 
     # ---- event handling -------------------------------------------------------
 
@@ -520,6 +636,8 @@ class Engine:
     def _release_wait(self, ctx: RankCtx, ev: _Wait) -> None:
         posts = self._posts[ev.tag][: ev.count]
         self._sync_count += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync()
         t0 = ctx.clock
         t = t0
         for pr, pclock, _ in posts:
@@ -557,6 +675,8 @@ class Engine:
             bucket[r] = ctx.clock
             if len(bucket) == len(ev.group):
                 self._sync_count += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_sync()
                 t = max(bucket.values()) + self._group_latency(ev.group)
                 released = []
                 if self.trace is not None:

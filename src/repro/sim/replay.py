@@ -14,14 +14,23 @@ trace).
   resized operation) changes it.
 * :func:`diff_schedules` — human-readable first divergence between two
   signatures.
+* :class:`ScheduleCertificate` with
+  :func:`certificate_to_json` / :func:`certificate_from_json` — a
+  replayable witness schedule produced by the model checker
+  (:mod:`repro.analysis.mc`): the minimized forced-choice prefix that
+  drives the engine into a failing state, plus what failed there.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
 
 from repro.sim.trace import OpRecord, Trace
+
+#: schema tag for schedule certificates
+CERT_SCHEMA = "repro-schedule/1"
 
 _FIELDS = ("rank", "kind", "nbytes", "src", "dst", "nt", "policy",
            "t_start", "t_end", "tag", "count", "group")
@@ -83,6 +92,62 @@ def schedule_signature(trace: Trace) -> dict:
             continue
         sig.setdefault(r.rank, []).append((r.kind, r.nbytes, bool(r.nt)))
     return sig
+
+
+@dataclass(frozen=True)
+class ScheduleCertificate:
+    """A replayable witness: the schedule under which a check failed.
+
+    ``choices`` is a forced-choice prefix for
+    :class:`repro.sim.scheduler.ControlledScheduler` — rank to advance
+    at each step; past the prefix the replay continues deterministically
+    (smallest enabled rank), so the prefix is usually the *minimized*
+    part of the schedule and the certificate stays short.  ``failure``
+    names the failed check (``divergence`` / ``race`` / ``deadlock`` /
+    ``sanitizer`` / ``dav`` / ``error``) and ``detail`` carries its
+    human-readable message.
+
+    The engine parameters (``nranks``/``s``/``seed``/``sanitize``) pin
+    the exact program the schedule applies to; ``case`` is the analysis
+    matrix label (e.g. ``"ma/reduce"``).
+    """
+
+    case: str
+    collective: str
+    kind: str
+    nranks: int
+    s: int
+    choices: List[int] = field(default_factory=list)
+    failure: str = ""
+    detail: str = ""
+    seed: int = 0
+    sanitize: bool = False
+
+    def describe(self) -> str:
+        return (f"[{self.failure}] {self.case} p={self.nranks} s={self.s}: "
+                f"{self.detail}\n  witness schedule "
+                f"({len(self.choices)} forced step(s)): {self.choices}")
+
+
+def certificate_to_json(cert: ScheduleCertificate,
+                        *, indent: Optional[int] = 2) -> str:
+    """Serialize a schedule certificate (schema ``repro-schedule/1``)."""
+    payload = {"schema": CERT_SCHEMA, **asdict(cert)}
+    return json.dumps(payload, indent=indent)
+
+
+def certificate_from_json(text: str) -> ScheduleCertificate:
+    """Parse a certificate serialized by :func:`certificate_to_json`."""
+    payload = json.loads(text)
+    schema = payload.pop("schema", None)
+    if schema != CERT_SCHEMA:
+        raise ValueError(f"unsupported certificate schema {schema!r}")
+    known = {f for f in ScheduleCertificate.__dataclass_fields__}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown certificate fields {sorted(unknown)}")
+    payload["choices"] = [int(c) for c in payload.get("choices", [])]
+    return ScheduleCertificate(**payload)
 
 
 def diff_schedules(a: dict, b: dict) -> Optional[str]:

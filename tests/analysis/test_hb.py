@@ -190,3 +190,41 @@ class TestReporting:
 
     def test_find_races_empty_input(self):
         assert find_races([]) == ([], 0)
+
+    def test_kind_totals_exact_under_truncation(self):
+        """Per-kind tallies count every race, not just the reported."""
+        eng = Engine(2, functional=True, trace=True)
+        shm = eng.alloc_shared(512, name="win")
+        priv = [eng.alloc(r, 512, fill=0.0, name=f"b[{r}]")
+                for r in range(2)]
+
+        def prog(ctx):
+            for i in range(8):
+                ctx.copy(shm.view(i * 64, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        races, total = race_check(eng.trace, 2, max_reports=3)
+        assert sum(races.kind_totals.values()) == total
+        assert races.kind_totals["write-write"] == total
+
+    def test_truncated_report_names_hidden_count(self):
+        eng = Engine(2, functional=True, trace=True)
+        shm = eng.alloc_shared(512, name="win")
+        priv = [eng.alloc(r, 512, fill=0.0, name=f"b[{r}]")
+                for r in range(2)]
+
+        def prog(ctx):
+            for i in range(8):
+                ctx.copy(shm.view(i * 64, 64), priv[ctx.rank].view(0, 64))
+            return
+            yield
+
+        eng.run(prog)
+        report = analyze_trace(eng.trace, 2, max_reports=3)
+        text = report.describe()
+        hidden = report.total_races - 3
+        assert f"{report.total_races} race(s)" in text
+        assert "write-write" in text
+        assert f"and {hidden} more race(s) not shown" in text

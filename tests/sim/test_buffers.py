@@ -55,6 +55,19 @@ class TestBufView:
         assert Buffer(8).view().is_virtual
         assert not Buffer(8, data=np.zeros(1)).view().is_virtual
 
+    def test_sub_bounds_checked_unconditionally(self):
+        """sub() must not escape its view — even though the escaped
+        range may still lie inside the underlying buffer."""
+        v = Buffer(64).view(16, 32)
+        with pytest.raises(ValueError, match="escapes view"):
+            v.sub(-8, 8)  # would reach bytes [8, 16) of the buffer
+        with pytest.raises(ValueError, match="escapes view"):
+            v.sub(24, 16)  # would reach bytes [40, 56) of the buffer
+        with pytest.raises(ValueError):
+            v.sub(0, -8)
+        assert v.sub(24, 8).off == 40  # flush to the view's end is fine
+        assert v.sub(32, 0).nbytes == 0  # empty tail slice is fine
+
 
 class TestAllocHelpers:
     def test_functional_fill(self):

@@ -43,6 +43,31 @@ class TestDeadlockDiagnostics:
         assert {b.tag for b in blocked} == {("t", 0), ("t", 1)}
         assert all(b.kind == "wait" and b.have == 0 for b in blocked)
 
+    def test_partial_post_diagnosis_counts_per_poster(self):
+        """A wait(tag, 4) holding 2 posts from one rank and 1 from
+        another must say exactly what arrived from whom — the
+        information that makes partial-post deadlocks diagnosable."""
+        eng = Engine(3, functional=True)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.post(("chunk",))
+                ctx.post(("chunk",))
+            elif ctx.rank == 1:
+                ctx.post(("chunk",))
+            else:
+                yield ctx.wait(("chunk",), 4)
+
+        with pytest.raises(DeadlockError) as exc:
+            eng.run(prog)
+        (blocked,) = exc.value.blocked
+        assert blocked.have == 3 and blocked.count == 4
+        assert blocked.posts_by_rank == {0: 2, 1: 1}
+        msg = blocked.describe()
+        assert "3 post(s) of 4 required" in msg
+        assert "rank 0 x2" in msg and "rank 1" in msg
+        assert "1 will never arrive" in msg
+
     def test_barrier_deadlock_names_arrived_and_missing(self):
         eng = Engine(4, functional=True)
 

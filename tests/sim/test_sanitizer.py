@@ -1,0 +1,146 @@
+"""Simulated-memory sanitizer: shadow-state checks at access time."""
+
+import pytest
+
+from repro.sim.buffers import SanitizerError
+from repro.sim.engine import Engine
+
+
+def _engines():
+    return Engine(2, functional=True, trace=True, sanitize=True)
+
+
+class TestUninitializedRead:
+    def test_read_of_untouched_shared_memory_flagged(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        dst = eng.alloc(0, 64, fill=0.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(dst.view(), shm.view())  # nobody wrote shm
+
+        with pytest.raises(SanitizerError) as exc:
+            eng.run(prog, ranks=[0])
+        assert exc.value.kind == "uninitialized-read"
+        assert exc.value.buf_name == shm.name
+
+    def test_read_after_write_is_clean(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        src = eng.alloc(0, 64, fill=2.0)
+        dst = eng.alloc(1, 64, fill=0.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(), src.view())
+                ctx.post(("done",))
+            else:
+                yield ctx.wait(("done",))
+                ctx.copy(dst.view(), shm.view())
+
+        eng.run(prog)  # no error
+
+    def test_partial_write_still_flags_remaining_bytes(self):
+        eng = _engines()
+        shm = eng.alloc_shared(128)
+        src = eng.alloc(0, 64, fill=1.0)
+        dst = eng.alloc(0, 128, fill=0.0)
+
+        def prog(ctx):
+            ctx.copy(shm.view(0, 64), src.view())  # low half only
+            ctx.copy(dst.view(), shm.view())       # reads all 128
+
+        with pytest.raises(SanitizerError) as exc:
+            eng.run(prog, ranks=[0])
+        assert exc.value.kind == "uninitialized-read"
+        assert exc.value.lo == 0 and exc.value.hi == 128
+
+    def test_fill_and_random_allocs_are_initialized(self):
+        eng = _engines()
+        a = eng.alloc(0, 64, fill=1.5)
+        b = eng.alloc(0, 64, random=True)
+        out = eng.alloc(0, 64, fill=0.0)
+
+        def prog(ctx):
+            ctx.reduce_out(out.view(), a.view(), b.view())
+
+        eng.run(prog, ranks=[0])
+
+
+class TestOverlappingWrite:
+    def test_unsynchronized_writes_same_epoch_flagged(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        srcs = [eng.alloc(r, 64, fill=float(r)) for r in range(2)]
+
+        def prog(ctx):
+            ctx.copy(shm.view(), srcs[ctx.rank].view())
+
+        with pytest.raises(SanitizerError) as exc:
+            eng.run(prog)
+        assert exc.value.kind == "overlapping-write"
+        assert exc.value.other_rank in (0, 1)
+
+    def test_post_wait_separated_writes_are_clean(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        srcs = [eng.alloc(r, 64, fill=float(r)) for r in range(2)]
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(), srcs[0].view())
+                ctx.post(("turn",))
+            else:
+                yield ctx.wait(("turn",))
+                ctx.copy(shm.view(), srcs[1].view())
+
+        eng.run(prog)
+
+    def test_barrier_separated_writes_are_clean(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        srcs = [eng.alloc(r, 64, fill=float(r)) for r in range(2)]
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.copy(shm.view(), srcs[0].view())
+            yield ctx.barrier((0, 1))
+            if ctx.rank == 1:
+                ctx.copy(shm.view(), srcs[1].view())
+
+        eng.run(prog)
+
+    def test_disjoint_writes_same_epoch_are_clean(self):
+        eng = _engines()
+        shm = eng.alloc_shared(128)
+        srcs = [eng.alloc(r, 64, fill=float(r)) for r in range(2)]
+
+        def prog(ctx):
+            ctx.copy(shm.view(ctx.rank * 64, 64), srcs[ctx.rank].view())
+
+        eng.run(prog)
+
+    def test_same_rank_rewrites_are_clean(self):
+        eng = _engines()
+        shm = eng.alloc_shared(64)
+        src = eng.alloc(0, 64, fill=1.0)
+
+        def prog(ctx):
+            ctx.copy(shm.view(), src.view())
+            ctx.copy(shm.view(), src.view())
+
+        eng.run(prog, ranks=[0])
+
+
+class TestSanitizerOffByDefault:
+    def test_no_shadow_without_sanitize(self):
+        eng = Engine(2, functional=True)
+        shm = eng.alloc_shared(64)
+        dst = eng.alloc(0, 64, fill=0.0)
+        assert shm.shadow is None
+
+        def prog(ctx):
+            ctx.copy(dst.view(), shm.view())  # uninit read: not flagged
+
+        eng.run(prog, ranks=[0])
