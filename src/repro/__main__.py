@@ -12,8 +12,15 @@ Commands
     fallback), side by side.
 
 ``report``
-    Collect the benchmark suite's result tables into one markdown
-    report (run ``pytest benchmarks/ --benchmark-only`` first).
+    Collect the benchmark suite's result tables — legacy ``*.txt``
+    tables and ``repro-bench/1`` ``BENCH_*.json`` sweeps — into one
+    markdown report (run ``python -m repro bench all`` first).
+
+``trace <collective>``
+    Export one traced run as Chrome trace-event / Perfetto JSON
+    (per-rank tracks, phase spans, sync flow arrows, byte counters)
+    plus the per-rank counter registry and its Theorem 3.1 DAV
+    cross-check (see ``docs/observability.md``).
 
 ``info``
     Print the machine presets and registered algorithms.
@@ -122,6 +129,10 @@ def main(argv=None) -> int:
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--out", default="")
 
+    from repro.obs.cli import add_trace_parser
+
+    add_trace_parser(sub)
+
     from repro.bench.cli import add_bench_parser
 
     add_bench_parser(sub)
@@ -153,11 +164,15 @@ def main(argv=None) -> int:
         from repro.reporting import build_report, write_report
 
         results = Path(args.results)
-        if args.out:
-            path = write_report(results, Path(args.out))
-            print(f"wrote {path}")
-        else:
-            print(build_report(results))
+        try:
+            if args.out:
+                path = write_report(results, Path(args.out))
+                print(f"wrote {path}")
+            else:
+                print(build_report(results))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "analyze":
@@ -232,6 +247,11 @@ def main(argv=None) -> int:
         from repro.bench.cli import run_bench_command
 
         return run_bench_command(args)
+
+    if args.command == "trace":
+        from repro.obs.cli import run_trace_command
+
+        return run_trace_command(args)
 
     if args.command == "compare":
         print(compare_priorities(

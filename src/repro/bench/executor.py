@@ -60,7 +60,8 @@ def exec_payload(payload: dict) -> dict:
         machine = PRESETS[payload["machine"]]
         comm = Communicator(payload["p"], machine=machine, functional=False)
         res = spec.resolve()(comm, payload["nbytes"])
-        return {"time": res.time, "dav": res.dav, "algorithm": res.algorithm}
+        return {"time": res.time, "dav": res.dav,
+                "algorithm": res.algorithm, "counters": res.counters}
     _worker_init(payload.get("bench_dir", ""))
     module = importlib.import_module(payload["module"])
     fn = getattr(module, payload["attr"])
@@ -174,8 +175,12 @@ def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
     table = SweepTable(title=spec.title, sizes=list(spec.sizes),
                        baseline=spec.baseline)
     for cell, w in zip(spec.cells(), work):
+        # .get: cache entries written before the counter schema lack
+        # the key (source_version() normally invalidates them, but a
+        # hand-copied cache directory must not crash the suite)
         table.add(cell["impl"], cell["x"], w.result["time"],
-                  dav=w.result["dav"], algorithm=w.result["algorithm"])
+                  dav=w.result["dav"], algorithm=w.result["algorithm"],
+                  counters=w.result.get("counters"))
     return table
 
 

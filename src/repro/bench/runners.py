@@ -36,6 +36,9 @@ class CellResult:
     time: float
     dav: int
     algorithm: str
+    #: per-rank counter snapshot (``repro-obs/1``); ``None`` only for
+    #: results reconstructed from pre-counter cache entries
+    counters: Optional[dict] = None
 
 
 def resolve_imax(imax: Optional[int], machine) -> int:
@@ -55,10 +58,13 @@ def resolve_imax(imax: Optional[int], machine) -> int:
 
 
 def _cell(res, algorithm: str) -> CellResult:
+    from repro.obs.counters import Counters
+
     return CellResult(
         time=res.time,
         dav=res.traffic.dav if res.traffic is not None else 0,
         algorithm=algorithm,
+        counters=Counters.from_run(res).snapshot(),
     )
 
 
@@ -110,7 +116,8 @@ def yhccl_cell(kind: str):
         from repro.library.yhccl import YHCCL
 
         res = getattr(YHCCL(comm), kind)(nbytes, iterations=ITERATIONS)
-        return CellResult(time=res.time, dav=res.dav, algorithm=res.algorithm)
+        return CellResult(time=res.time, dav=res.dav,
+                          algorithm=res.algorithm, counters=res.counters)
 
     return run
 
@@ -122,7 +129,8 @@ def vendor_cell(vendor: str, kind: str):
         res = getattr(MPILibrary(comm, vendor), kind)(
             nbytes, iterations=ITERATIONS
         )
-        return CellResult(time=res.time, dav=res.dav, algorithm=res.algorithm)
+        return CellResult(time=res.time, dav=res.dav,
+                          algorithm=res.algorithm, counters=res.counters)
 
     return run
 

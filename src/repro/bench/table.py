@@ -37,17 +37,23 @@ class SweepTable:
     times: dict = field(default_factory=dict)
     dav: dict = field(default_factory=dict)
     algorithm: dict = field(default_factory=dict)
+    #: counters[impl][size] — per-rank ``repro-obs/1`` snapshots, when
+    #: the execution layer provides them
+    counters: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
     baseline: str = ""
 
     def add(self, impl: str, size: int, seconds: float, *,
             dav: Optional[int] = None,
-            algorithm: Optional[str] = None) -> None:
+            algorithm: Optional[str] = None,
+            counters: Optional[dict] = None) -> None:
         self.times.setdefault(impl, {})[size] = seconds
         if dav is not None:
             self.dav.setdefault(impl, {})[size] = dav
         if algorithm is not None:
             self.algorithm.setdefault(impl, {})[size] = algorithm
+        if counters is not None:
+            self.counters.setdefault(impl, {})[size] = counters
 
     def note(self, text: str) -> None:
         self.notes.append(text)
@@ -131,6 +137,10 @@ class SweepTable:
                 entry["algorithm"] = {
                     str(s): a for s, a in self.algorithm[i].items()
                 }
+            if i in self.counters:
+                entry["counters"] = {
+                    str(s): c for s, c in self.counters[i].items()
+                }
             impls[i] = entry
         relative = {}
         for i in self.impls():
@@ -144,10 +154,41 @@ class SweepTable:
             "title": self.title,
             "baseline": base,
             "sizes": list(self.sizes),
+            # canonical JSON sorts object keys, so column order rides in
+            # a list — from_json restores the live table's layout
+            "impl_order": self.impls(),
             "impls": impls,
             "relative_to_baseline": relative,
             "notes": list(self.notes),
         }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SweepTable":
+        """Rebuild a table from its :meth:`to_json` payload.
+
+        The inverse the report assembler needs: ``BENCH_*.json`` sweeps
+        render through the same :meth:`render` as live runs, so text
+        and JSON results can never drift apart.  Size keys come back as
+        ints; ``relative_to_baseline`` is derived, not restored.
+        """
+        table = cls(
+            title=payload.get("title", ""),
+            sizes=[int(s) for s in payload.get("sizes", [])],
+            baseline=payload.get("baseline", ""),
+            notes=list(payload.get("notes", [])),
+        )
+        entries = payload.get("impls", {})
+        order = payload.get("impl_order") or list(entries)
+        for impl in order:
+            entry = entries.get(impl, {})
+            for s, t in entry.get("times", {}).items():
+                table.add(
+                    impl, int(s), t,
+                    dav=entry.get("dav", {}).get(s),
+                    algorithm=entry.get("algorithm", {}).get(s),
+                    counters=entry.get("counters", {}).get(s),
+                )
+        return table
 
     # ---- shape assertions ---------------------------------------------------
 

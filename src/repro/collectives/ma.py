@@ -114,28 +114,30 @@ def ma_pipeline(ctx, env: CollectiveEnv, members: Sequence[int], *,
         return
 
     for t in range(rounds):
-        for j in range(p_local):
-            i = (j + q + 1) % p_local
-            if t >= len(subs[i]):
-                continue
-            off, n = subs[i][t]
-            slot = slot_view(i, off, n)
-            if j == 0:
-                if layout == "window" and t > 0 and not barrier_rounds:
-                    # Recycled slot: wait until round t-1 was consumed.
-                    yield ctx.wait((tag, "consumed", i, t - 1))
-                env.copy(ctx, slot, send.view(off, n), t_flag=False)
-            else:
-                yield ctx.wait((tag, "chain", i, t, j - 1))
-                if j == p_local - 1 and final == "scatter":
-                    assert i == q, "final step must land on the owner"
-                    buf, base = _dest_for(env, members, q, dests)
-                    dst = buf.view(base + (off - parts[q][0]), n)
-                    ctx.reduce_out(dst, slot, send.view(off, n), op=env.op)
-                    ctx.post((tag, "consumed", i, t))
+        with ctx.span("reduce-wavefront"):
+            for j in range(p_local):
+                i = (j + q + 1) % p_local
+                if t >= len(subs[i]):
+                    continue
+                off, n = subs[i][t]
+                slot = slot_view(i, off, n)
+                if j == 0:
+                    if layout == "window" and t > 0 and not barrier_rounds:
+                        # Recycled slot: wait until round t-1 was consumed.
+                        yield ctx.wait((tag, "consumed", i, t - 1))
+                    env.copy(ctx, slot, send.view(off, n), t_flag=False)
                 else:
-                    ctx.reduce_acc(slot, send.view(off, n), op=env.op)
-            ctx.post((tag, "chain", i, t, j))
+                    yield ctx.wait((tag, "chain", i, t, j - 1))
+                    if j == p_local - 1 and final == "scatter":
+                        assert i == q, "final step must land on the owner"
+                        buf, base = _dest_for(env, members, q, dests)
+                        dst = buf.view(base + (off - parts[q][0]), n)
+                        ctx.reduce_out(dst, slot, send.view(off, n),
+                                       op=env.op)
+                        ctx.post((tag, "consumed", i, t))
+                    else:
+                        ctx.reduce_acc(slot, send.view(off, n), op=env.op)
+                ctx.post((tag, "chain", i, t, j))
         if barrier_rounds:
             # All of round t's sums are final after the barrier; the
             # consumer (copy-out) runs, and the closing barrier makes
@@ -146,7 +148,8 @@ def ma_pipeline(ctx, env: CollectiveEnv, members: Sequence[int], *,
                 for i in range(p_local)
                 if t < len(subs[i])
             ]
-            round_consumer(t, round_slices)
+            with ctx.span("copy-out"):
+                round_consumer(t, round_slices)
             yield ctx.barrier(members)
 
 

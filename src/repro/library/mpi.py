@@ -41,6 +41,7 @@ from repro.collectives.socket_aware import (
 )
 from repro.library.communicator import Communicator
 from repro.library.yhccl import CollectiveResult
+from repro.obs.counters import Counters
 
 #: name -> {kind -> algorithm}: the raw algorithm registry
 ALGORITHMS = {
@@ -116,6 +117,7 @@ class MPILibrary:
             sync_count=res.sync_count,
             algorithm=alg.name,
             copy_policy=policy,
+            counters=Counters.from_run(res).snapshot(),
         )
 
     def allreduce(self, nbytes: int, *, op: str = "sum",

@@ -10,6 +10,8 @@ Section 5.4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 
 @dataclass
 class ProfileRecord:
@@ -18,6 +20,9 @@ class ProfileRecord:
     time: float
     dav: int
     algorithm: str
+    #: per-rank counter snapshot (``repro-obs/1``) when the wrapped
+    #: library provides one; ``None`` for bare results
+    counters: Optional[dict] = None
 
     @property
     def dab(self) -> float:
@@ -49,9 +54,18 @@ class Profiler:
         self.records: list[ProfileRecord] = []
 
     def __getattr__(self, name):
-        if name not in self.COLLECTIVES:
+        # Dunders must keep their standard failure semantics: copy,
+        # pickle and inspect probe them and interpret AttributeError as
+        # "not supported" — delegating would break that protocol.
+        # ``library`` itself guards unpickling, where __getattr__ runs
+        # before __init__ has populated the instance dict.
+        if name.startswith("__") or name == "library":
             raise AttributeError(name)
-        inner = getattr(self.library, name)
+        inner = getattr(self.library, name)  # AttributeError names both
+        if name not in self.COLLECTIVES:
+            # A PMPI shim is transparent: non-collective API (analyze,
+            # verify, comm, ...) passes straight through unprofiled.
+            return inner
 
         def wrapper(nbytes, **kw):
             result = inner(nbytes, **kw)
@@ -62,6 +76,7 @@ class Profiler:
                     time=result.time,
                     dav=result.dav,
                     algorithm=result.algorithm,
+                    counters=getattr(result, "counters", None),
                 )
             )
             return result
@@ -91,7 +106,10 @@ class Profiler:
             f"{'DAB (GB/s)':>12}"
         ]
         for kind, st in sorted(self.stats().items()):
-            dab = st.total_dav / st.total_time / 1e9 if st.total_time else 0.0
+            # same zero-time guard as ProfileRecord.dab: a sum of
+            # degenerate zero-time records must not divide by zero
+            dab = (st.total_dav / st.total_time / 1e9
+                   if st.total_time > 0 else 0.0)
             lines.append(
                 f"{kind:<16}{st.calls:>7}{st.total_bytes:>14}"
                 f"{st.total_time * 1e3:>12.3f}{dab:>12.1f}"

@@ -23,6 +23,7 @@ from repro.collectives.common import (
 from repro.collectives.switching import Selection, YHCCLConfig, select
 from repro.library.communicator import Communicator
 from repro.machine.spec import KB
+from repro.obs.counters import Counters
 
 
 @dataclass
@@ -37,6 +38,10 @@ class CollectiveResult:
     sync_count: int
     algorithm: str
     copy_policy: str
+    #: per-rank counter registry snapshot (``repro-obs/1``), built by
+    #: :meth:`repro.obs.counters.Counters.from_run` — ``None`` only for
+    #: results constructed directly without an engine run
+    counters: Optional[dict] = None
 
     @property
     def time_us(self) -> float:
@@ -209,4 +214,5 @@ class YHCCL:
             sync_count=res.sync_count,
             algorithm=sel.algorithm.name,
             copy_policy=sel.copy_policy,
+            counters=Counters.from_run(res).snapshot(),
         )

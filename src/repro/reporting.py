@@ -1,17 +1,28 @@
 """Reproduction report builder.
 
-Collects the tables the benchmark suite wrote under
+Collects everything the benchmark suite wrote under
 ``benchmarks/results/`` into a single markdown report, ordered by the
 paper's experiment index — the regenerable companion to EXPERIMENTS.md.
+Two result formats coexist and both are rendered:
+
+* legacy ``*.txt`` tables (the per-figure pytest modules' ``emit``
+  output) — included verbatim;
+* ``repro-bench/1`` ``BENCH_*.json`` documents (``python -m repro
+  bench``) — sweeps are rebuilt with
+  :meth:`repro.bench.table.SweepTable.from_json` and rendered through
+  the *same* :meth:`~repro.bench.table.SweepTable.render` as live runs,
+  so the two paths cannot drift apart; custom payloads are included as
+  pretty-printed JSON.
 
     python -m repro report [--results DIR] [--out FILE]
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 #: experiment index: (results-file glob prefix, section heading)
 EXPERIMENT_ORDER = [
@@ -36,25 +47,50 @@ EXPERIMENT_ORDER = [
     ("model_validation", "Model validation"),
 ]
 
+#: BENCH_*.json files that are derived indexes, not result documents
+_NON_RESULT_JSON = ("BENCH_summary.json",)
+
 
 @dataclass
 class ReportSection:
     heading: str
-    files: list
+    files: list = field(default_factory=list)
+
+
+def _experiment_key(path: Path) -> str:
+    """The experiment-index key of one results file: ``fig09_...txt``
+    and ``BENCH_fig09_... .json`` both belong to the ``fig09`` rows."""
+    name = path.name
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_"):]
+    return name
+
+
+def _result_files(results_dir: Path) -> List[Path]:
+    txt = sorted(results_dir.glob("*.txt"))
+    js = [p for p in sorted(results_dir.glob("BENCH_*.json"))
+          if p.name not in _NON_RESULT_JSON]
+    return txt + js
 
 
 def collect_sections(results_dir: Path) -> list:
-    """Group the results files by experiment, in paper order."""
+    """Group the results files by experiment, in paper order.
+
+    Both formats participate: legacy text tables and the ``bench``
+    runner's JSON documents.
+    """
     if not results_dir.is_dir():
         raise FileNotFoundError(
             f"{results_dir} does not exist — run "
-            "`pytest benchmarks/ --benchmark-only` first"
+            "`python -m repro bench all` to produce benchmark results "
+            "first"
         )
-    all_files = sorted(results_dir.glob("*.txt"))
+    all_files = _result_files(results_dir)
     used: set = set()
     sections = []
     for prefix, heading in EXPERIMENT_ORDER:
-        files = [f for f in all_files if f.name.startswith(prefix)]
+        files = [f for f in all_files
+                 if _experiment_key(f).startswith(prefix)]
         if files:
             sections.append(ReportSection(heading=heading, files=files))
             used.update(files)
@@ -65,20 +101,47 @@ def collect_sections(results_dir: Path) -> list:
     return sections
 
 
+def render_result_file(path: Path) -> str:
+    """One results file as report text — the shared-renderer seam.
+
+    Text files are included verbatim.  JSON documents are parsed and
+    every sweep is rendered via :class:`~repro.bench.table.SweepTable`,
+    exactly as the live ``bench`` run printed it; non-sweep (custom)
+    payloads fall back to pretty-printed JSON.
+    """
+    if path.suffix != ".json":
+        return path.read_text().rstrip()
+    from repro.bench.table import SweepTable
+
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return f"({path.name}: unreadable JSON: {exc})"
+    parts = []
+    for sweep in doc.get("sweeps", []):
+        parts.append(SweepTable.from_json(sweep).render())
+    if "custom" in doc:
+        parts.append(json.dumps(doc["custom"], sort_keys=True, indent=2))
+    if not parts:
+        return f"({path.name}: no sweeps or custom payload)"
+    return "\n\n".join(parts)
+
+
 def build_report(results_dir: Path, *, title: Optional[str] = None) -> str:
     """Render the full markdown report."""
     sections = collect_sections(results_dir)
     lines = [
         title or "# Reproduction report — regenerated benchmark tables",
         "",
-        "Produced from the text tables the benchmark suite wrote to "
-        f"`{results_dir}`.  See EXPERIMENTS.md for the paper-vs-measured "
+        "Produced from the result tables the benchmark suite wrote to "
+        f"`{results_dir}` (legacy text tables and `repro-bench/1` JSON "
+        "sweeps).  See EXPERIMENTS.md for the paper-vs-measured "
         "analysis of each experiment.",
     ]
     for sec in sections:
         lines += ["", f"## {sec.heading}", ""]
         for f in sec.files:
-            lines += ["```", f.read_text().rstrip(), "```", ""]
+            lines += ["```", render_result_file(f), "```", ""]
     return "\n".join(lines)
 
 

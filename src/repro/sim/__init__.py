@@ -39,7 +39,7 @@ from repro.sim.scheduler import (
     StepRecord,
 )
 from repro.sim.timeline import render_timeline, rank_stats, critical_rank
-from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
+from repro.sim.trace import AccessEvent, OpRecord, SpanRecord, SyncEvent, Trace
 
 __all__ = [
     "Buffer",
@@ -58,6 +58,7 @@ __all__ = [
     "DeadlockError",
     "AccessEvent",
     "OpRecord",
+    "SpanRecord",
     "SyncEvent",
     "Trace",
     "render_timeline",

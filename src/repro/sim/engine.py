@@ -48,7 +48,7 @@ from repro.sim.buffers import (
     alloc_shared,
 )
 from repro.sim.scheduler import FifoScheduler, SchedulerPolicy
-from repro.sim.trace import AccessEvent, OpRecord, SyncEvent, Trace
+from repro.sim.trace import AccessEvent, OpRecord, SpanRecord, SyncEvent, Trace
 
 REDUCE_OPS = {
     "sum": np.add,
@@ -137,6 +137,44 @@ class DeadlockError(RuntimeError):
         self.blocked = tuple(blocked)
 
 
+class _NullSpan:
+    """Shared no-op span: the zero-allocation path when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Open phase label on one rank; closes into a trace SpanRecord."""
+
+    __slots__ = ("_ctx", "_name", "_t0")
+
+    def __init__(self, ctx: "RankCtx", name: str):
+        self._ctx = ctx
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._ctx.clock
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        ctx = self._ctx
+        trace = ctx.engine.trace
+        if trace is not None:
+            trace.add_span(SpanRecord(rank=ctx.rank, name=self._name,
+                                      t_start=self._t0, t_end=ctx.clock))
+        return False
+
+
 @dataclass(frozen=True)
 class _Wait:
     tag: object
@@ -150,13 +188,34 @@ class _Barrier:
 
 @dataclass
 class RunResult:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    ``first_record`` / ``first_span`` index into ``trace.records`` /
+    ``trace.spans`` where *this* run began: engine traces accumulate
+    across back-to-back runs, and per-run consumers (the
+    :mod:`repro.obs` counters) must not double-count earlier runs.
+    """
 
     times: list  # per-rank completion time (seconds)
     traffic: Optional[TrafficCounters]
     per_rank_traffic: Optional[list]
     trace: Optional[Trace]
     sync_count: int
+    first_record: int = 0
+    first_span: int = 0
+
+    @property
+    def run_records(self) -> list:
+        """The OpRecords of this run alone (empty without tracing)."""
+        if self.trace is None:
+            return []
+        return self.trace.records[self.first_record:]
+
+    @property
+    def run_spans(self) -> list:
+        if self.trace is None:
+            return []
+        return self.trace.spans[self.first_span:]
 
     @property
     def time(self) -> float:
@@ -289,6 +348,22 @@ class RankCtx:
             self.clock += eng.memsys.load(self.rank, view.buf, view.off, view.nbytes)
         eng._record(self, "touch", view.nbytes, view, None, t0=t0,
                     reads=(view,))
+
+    # ---- observability -----------------------------------------------------
+
+    def span(self, name: str):
+        """Label a phase of this rank's program (``with ctx.span("x")``).
+
+        Returns a context manager recording a
+        :class:`~repro.sim.trace.SpanRecord` over the rank-clock
+        interval it covers.  With tracing off this returns a shared
+        no-op singleton — the hot path pays one ``if`` and allocates
+        nothing.  Spans may nest and may enclose ``yield``\\ ed sync
+        points (the interval simply includes the wait).
+        """
+        if self.engine.trace is None:
+            return _NULL_SPAN
+        return _Span(self, name)
 
     # ---- synchronization ---------------------------------------------------------
 
@@ -501,6 +576,8 @@ class Engine:
         self._sync_count = 0
         if self.sanitizer is not None:
             self.sanitizer.on_sync()
+        first_record = 0
+        first_span = 0
         if self.trace is not None:
             # Back-to-back collectives on one engine are separated by a
             # global synchronization (the previous run drained fully);
@@ -509,6 +586,8 @@ class Engine:
                 SyncEvent(seq=self.trace.next_seq(), rank=-1,
                           kind="run_start", group=tuple(ranks))
             )
+            first_record = len(self.trace.records)
+            first_span = len(self.trace.spans)
 
         ctxs = {r: RankCtx(self, r) for r in ranks}
         if start_times is not None:
@@ -542,6 +621,8 @@ class Engine:
             per_rank_traffic=self.memsys.per_rank if self.memsys else None,
             trace=self.trace,
             sync_count=self._sync_count,
+            first_record=first_record,
+            first_span=first_span,
         )
 
     def _run_cooperative(self, policy: SchedulerPolicy, ctxs, gens, done

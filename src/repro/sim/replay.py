@@ -27,7 +27,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
-from repro.sim.trace import OpRecord, Trace
+from repro.sim.trace import OpRecord, SpanRecord, Trace
 
 #: schema tag for schedule certificates
 CERT_SCHEMA = "repro-schedule/1"
@@ -47,13 +47,20 @@ def _retuple(value):
 
 
 def trace_to_json(trace: Trace, *, indent: Optional[int] = None) -> str:
-    """Serialize a trace to JSON (schema: list of record objects)."""
-    payload = {
+    """Serialize a trace to JSON (schema: list of record objects).
+
+    Phase spans (``trace.spans``) ride along under a ``spans`` key when
+    present, keeping the round trip lossless for span-labelled traces
+    while older trace files (no key) still load.
+    """
+    payload: dict = {
         "version": 1,
         "records": [
             {f: getattr(r, f) for f in _FIELDS} for r in trace
         ],
     }
+    if trace.spans:
+        payload["spans"] = [asdict(s) for s in trace.spans]
     return json.dumps(payload, indent=indent)
 
 
@@ -73,6 +80,8 @@ def trace_from_json(text: str) -> Trace:
             if f in rec:
                 rec[f] = _retuple(rec[f])
         trace.add(OpRecord(**rec))
+    for span in payload.get("spans", ()):
+        trace.add_span(SpanRecord(**span))
     return trace
 
 

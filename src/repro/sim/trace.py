@@ -7,7 +7,7 @@ on and check, operation by operation, that the schedule matches the
 paper's figures (e.g. Figure 6's step/slice/rank table for the
 movement-avoiding reduce-scatter).
 
-A trace carries two parallel streams:
+A trace carries three parallel streams:
 
 * ``records`` — one :class:`OpRecord` per engine operation (data *and*
   synchronization), the per-rank schedule view consumed by the replay
@@ -17,7 +17,11 @@ A trace carries two parallel streams:
   :mod:`repro.analysis`'s happens-before race detector.  Access events
   name the exact buffer byte range each operation read or wrote; sync
   events capture post/wait/barrier structure, including *which* posts a
-  wait matched — everything a vector-clock construction needs.
+  wait matched — everything a vector-clock construction needs;
+* ``spans`` — coarse :class:`SpanRecord` phase labels emitted through
+  the :meth:`~repro.sim.engine.RankCtx.span` API, naming *why* a rank
+  spent a stretch of time (e.g. MA's reduce wavefront vs its copy-out
+  phase).  :mod:`repro.obs` turns them into nested Perfetto slices.
 """
 
 from __future__ import annotations
@@ -96,6 +100,26 @@ class AccessEvent:
 
 
 @dataclass(frozen=True)
+class SpanRecord:
+    """One labelled phase of a rank's execution.
+
+    Spans are purely observational: they carry no synchronization or
+    data semantics, only a name and the rank-clock interval it covers.
+    Nested ``span`` calls produce containing intervals (the trace
+    exporter renders them as nested slices).
+    """
+
+    rank: int
+    name: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
 class SyncEvent:
     """One synchronization event, in global execution order.
 
@@ -139,10 +163,14 @@ class Trace:
     def __init__(self) -> None:
         self.records: list[OpRecord] = []
         self.events: list = []  # AccessEvent | SyncEvent, execution order
+        self.spans: list[SpanRecord] = []
         self._seq = 0
 
     def add(self, rec: OpRecord) -> None:
         self.records.append(rec)
+
+    def add_span(self, span: SpanRecord) -> None:
+        self.spans.append(span)
 
     def next_seq(self) -> int:
         self._seq += 1
@@ -179,6 +207,9 @@ class Trace:
     def reduce_bytes(self) -> int:
         return sum(r.nbytes for r in self.records if r.kind.startswith("reduce"))
 
+    def touch_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records if r.kind == "touch")
+
     def summary(self) -> dict:
         kinds: dict[str, int] = {}
         for r in self.records:
@@ -189,4 +220,5 @@ class Trace:
             "copy_bytes": self.copy_bytes(),
             "nt_copy_bytes": self.copy_bytes(nt=True),
             "reduce_bytes": self.reduce_bytes(),
+            "spans": len(self.spans),
         }

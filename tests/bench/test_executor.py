@@ -27,8 +27,10 @@ class TestRunSweepTable:
                    "p": cell["p"], "nbytes": cell["nbytes"],
                    "runner": cell["runner"]}
         result = exec_payload(payload)
-        assert set(result) == {"time", "dav", "algorithm"}
+        assert set(result) == {"time", "dav", "algorithm", "counters"}
         assert result["time"] > 0
+        assert result["counters"]["schema"] == "repro-obs/1"
+        assert result["counters"]["nranks"] == cell["p"]
 
 
 class TestParallelEqualsSerial:

@@ -68,6 +68,41 @@ class TestProfiler:
                             dav=64 * KB, algorithm="ma")
         assert rec.dab == 0.0
 
-    def test_non_collective_attr_raises(self, profiled):
+    def test_missing_attr_raises(self, profiled):
+        # neither a collective nor anything the wrapped library has
         with pytest.raises(AttributeError):
             profiled.alltoall
+
+    def test_delegates_non_collective_api(self, profiled):
+        # a PMPI shim is transparent: the wrapped library's full
+        # surface stays reachable, unprofiled
+        assert profiled.comm is profiled.library.comm
+        assert profiled.config is profiled.library.config
+        report = profiled.analyze("allreduce", 8 * KB)
+        assert report.ok
+        assert not profiled.records  # analyze is not a collective call
+
+    def test_dunders_keep_standard_semantics(self, profiled):
+        import copy
+
+        # copy/pickle probe dunders like __deepcopy__/__reduce_ex__ and
+        # must get AttributeError, not a delegated library attribute
+        assert copy.copy(profiled).library is profiled.library
+        with pytest.raises(AttributeError):
+            profiled.__wrapped__
+
+    def test_records_carry_counters(self, profiled):
+        profiled.allreduce(64 * KB)
+        snap = profiled.records[0].counters
+        assert snap is not None and snap["schema"] == "repro-obs/1"
+        assert snap["nranks"] == 8
+
+    def test_report_zero_time_aggregate_is_finite(self):
+        from repro.library.profiler import ProfileRecord, Profiler
+
+        prof = Profiler(library=None)
+        prof.records.append(ProfileRecord(
+            kind="allreduce", nbytes=0, time=0.0, dav=64 * KB,
+            algorithm="ma",
+        ))
+        assert "inf" not in prof.report()

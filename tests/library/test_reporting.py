@@ -1,9 +1,25 @@
 """Report builder tests."""
 
+import json
+
 import pytest
 
+from repro.bench.jsonio import benchmark_doc, canonical_dumps
+from repro.bench.table import SweepTable
 from repro.reporting import build_report, collect_sections, write_report
 from repro.__main__ import main as cli_main
+
+
+def sample_table(title="Figure 11 sweep (NodeA)"):
+    # non-alphabetical insertion order: column layout must survive the
+    # disk round trip via impl_order even though JSON keys are sorted
+    t = SweepTable(title=title, sizes=[1024, 4096], baseline="Ring")
+    for impl, base in (("Ring", 2e-6), ("MA", 1e-6)):
+        for s in t.sizes:
+            t.add(impl, s, base * s, dav=3 * s, algorithm=impl.lower(),
+                  counters={"schema": "repro-obs/1", "nranks": 4})
+    t.note("tiny fixture sweep")
+    return t
 
 
 @pytest.fixture
@@ -15,6 +31,13 @@ def results_dir(tmp_path):
     (d / "table4_stream.txt").write_text("STREAM TABLE\n")
     (d / "ablation_sync.txt").write_text("SYNC ABLATION\n")
     (d / "mystery.txt").write_text("UNINDEXED\n")
+    # a repro-bench/1 JSON result (the `bench` runner's output format)
+    doc = benchmark_doc("fig11_allreduce", source_version="test",
+                        quick=False, tables=[sample_table()])
+    (d / "BENCH_fig11_allreduce.json").write_text(canonical_dumps(doc))
+    (d / "BENCH_summary.json").write_text(canonical_dumps(
+        {"schema": "repro-bench/1", "benchmarks": {}}
+    ))
     return d
 
 
@@ -38,6 +61,23 @@ class TestCollect:
         with pytest.raises(FileNotFoundError, match="benchmark"):
             collect_sections(tmp_path / "nope")
 
+    def test_error_recommends_bench_cli(self, tmp_path):
+        # the fix for the stale `pytest benchmarks/ --benchmark-only`
+        # recommendation: the suite runs via `python -m repro bench`
+        with pytest.raises(FileNotFoundError,
+                           match="python -m repro bench all"):
+            collect_sections(tmp_path / "nope")
+
+    def test_json_results_are_indexed_by_experiment(self, results_dir):
+        sections = collect_sections(results_dir)
+        fig11 = next(s for s in sections if s.heading.startswith("Figure 11"))
+        assert [f.name for f in fig11.files] == ["BENCH_fig11_allreduce.json"]
+
+    def test_summary_json_is_not_a_section(self, results_dir):
+        sections = collect_sections(results_dir)
+        names = {f.name for s in sections for f in s.files}
+        assert "BENCH_summary.json" not in names
+
 
 class TestBuild:
     def test_report_contains_tables(self, results_dir):
@@ -46,10 +86,33 @@ class TestBuild:
         assert "UNINDEXED" in text
         assert text.startswith("# Reproduction report")
 
+    def test_json_sweeps_render_identically_to_live_tables(self, results_dir):
+        # shared renderer: the report shows byte-for-byte what the live
+        # `bench` run printed for this sweep
+        text = build_report(results_dir)
+        assert sample_table().render() in text
+
+    def test_sweep_round_trips_through_json(self):
+        table = sample_table()
+        back = SweepTable.from_json(
+            json.loads(json.dumps(table.to_json()))
+        )
+        assert back.render() == table.render()
+        assert back.sizes == table.sizes
+        assert back.counters == table.counters
+        assert back.to_json() == table.to_json()
+
     def test_write_report(self, results_dir, tmp_path):
         out = write_report(results_dir, tmp_path / "report.md")
         assert out.exists()
         assert "SYNC ABLATION" in out.read_text()
+
+    def test_cli_missing_dir_is_friendly(self, tmp_path, capsys):
+        # usage error, not a traceback
+        rc = cli_main(["report", "--results", str(tmp_path / "nope")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "python -m repro bench all" in err
 
     def test_cli_report(self, results_dir, tmp_path, capsys):
         rc = cli_main(["report", "--results", str(results_dir)])

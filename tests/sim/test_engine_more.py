@@ -149,3 +149,75 @@ class TestTracingNeutrality:
                 MA_ALLREDUCE, eng, 8192, imax=512
             ).time
         assert times[False] == times[True]
+
+
+class TestSpans:
+    def test_span_records_rank_clock_interval(self):
+        eng = Engine(2, machine=TINY, functional=False, trace=True)
+
+        def program(ctx):
+            buf = eng.alloc(ctx.rank, 4096)
+            with ctx.span("work"):
+                ctx.copy(buf.view(0, 2048), buf.view(2048, 2048))
+            return
+            yield
+
+        eng.run(program)
+        spans = eng.trace.spans
+        assert len(spans) == 2
+        for s in spans:
+            assert s.name == "work"
+            assert s.t_end > s.t_start == 0.0
+
+    def test_spans_nest_and_may_enclose_syncs(self):
+        eng = Engine(2, machine=TINY, functional=True, trace=True)
+
+        def program(ctx):
+            with ctx.span("outer"):
+                with ctx.span("inner"):
+                    ctx.post(("t", ctx.rank))
+                yield ctx.wait(("t", 1 - ctx.rank))
+
+        eng.run(program)
+        by_rank = {}
+        for s in eng.trace.spans:
+            by_rank.setdefault(s.rank, []).append(s)
+        for spans in by_rank.values():
+            names = {s.name for s in spans}
+            assert names == {"outer", "inner"}
+            inner = next(s for s in spans if s.name == "inner")
+            outer = next(s for s in spans if s.name == "outer")
+            assert outer.t_start <= inner.t_start
+            assert inner.t_end <= outer.t_end
+
+    def test_span_is_shared_noop_singleton_when_untraced(self):
+        eng = Engine(2, machine=TINY, functional=False, trace=False)
+        seen = []
+
+        def program(ctx):
+            span = ctx.span("work")
+            seen.append(span)
+            with span:
+                pass
+            return
+            yield
+
+        eng.run(program)
+        # zero-overhead-when-off: every rank gets the same singleton,
+        # no per-call allocation on the hot path
+        assert seen[0] is seen[1]
+
+    def test_run_result_slices_spans_per_run(self):
+        eng = Engine(2, machine=TINY, functional=False, trace=True)
+
+        def program(ctx):
+            with ctx.span("phase"):
+                pass
+            return
+            yield
+
+        r1 = eng.run(program)
+        r2 = eng.run(program)
+        assert len(r1.trace.spans) == 4  # cumulative across runs
+        assert len(r2.run_spans) == 2    # this run's slice only
+        assert r2.first_span == 2

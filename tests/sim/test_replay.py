@@ -32,6 +32,17 @@ class TestRoundTrip:
         for a, b in zip(trace, back):
             assert a == b
 
+    def test_spans_round_trip(self):
+        trace = traced_ma()  # MA pipeline emits reduce-wavefront spans
+        assert trace.spans
+        back = trace_from_json(trace_to_json(trace))
+        assert back.spans == trace.spans
+
+    def test_spanless_payloads_still_load(self):
+        # pre-span trace files have no "spans" key
+        back = trace_from_json('{"version": 1, "records": []}')
+        assert back.spans == []
+
     def test_rejects_bad_version(self):
         with pytest.raises(ValueError, match="version"):
             trace_from_json('{"version": 9, "records": []}')

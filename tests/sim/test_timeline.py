@@ -3,7 +3,7 @@
 import pytest
 
 from repro.collectives.common import run_reduce_collective
-from repro.collectives.ma import MA_REDUCE_SCATTER
+from repro.collectives.ma import MA_ALLREDUCE, MA_REDUCE_SCATTER
 from repro.sim.engine import Engine
 from repro.sim.timeline import (
     critical_rank,
@@ -47,6 +47,40 @@ class TestRenderTimeline:
         text = render_timeline(traced_run(), width=40)
         assert "% busy" in text
 
+    def test_legend_line(self):
+        text = render_timeline(traced_run(), width=40)
+        assert "glyphs:" in text and "= barrier" in text
+
+    def test_sync_records_render_as_stall_segments(self):
+        # MA allreduce has flag waits and barrier phases; both must be
+        # visible in the chart, not silently dropped
+        eng = Engine(4, machine=TINY, functional=False, trace=True)
+        run_reduce_collective(MA_ALLREDUCE, eng, 4096, imax=512)
+        text = render_timeline(eng.trace, width=60)
+        assert "w" in text and "=" in text
+
+    def test_touch_records_have_a_glyph(self):
+        t = Trace()
+        t.add(OpRecord(rank=0, kind="touch", nbytes=64, nt=None,
+                       t_start=0.0, t_end=1e-6))
+        text = render_timeline(t, width=16, show_utilization=False)
+        assert "t" in text.splitlines()[-1]
+
+    def test_unknown_kind_warns_once_and_degrades(self):
+        t = Trace()
+        for i in range(3):
+            t.add(OpRecord(rank=0, kind="teleport", nbytes=64,
+                           t_start=i * 1e-6, t_end=(i + 1) * 1e-6))
+        with pytest.warns(RuntimeWarning, match="teleport") as caught:
+            text = render_timeline(t, width=16, show_utilization=False)
+        assert "?" in text
+        assert len(caught) == 1  # one warning per render, not per cell
+
+    def test_known_kinds_do_not_warn(self, recwarn):
+        render_timeline(traced_run(), width=40)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, RuntimeWarning)]
+
 
 class TestStats:
     def test_rank_stats_bounds(self):
@@ -55,6 +89,14 @@ class TestStats:
             st = rank_stats(trace, r)
             assert 0.0 <= st.utilization <= 1.0
             assert st.busy <= st.span
+
+    def test_stall_excluded_from_busy(self):
+        eng = Engine(4, machine=TINY, functional=False, trace=True)
+        run_reduce_collective(MA_ALLREDUCE, eng, 4096, imax=512)
+        for r in range(4):
+            st = rank_stats(eng.trace, r)
+            assert st.stall > 0  # waits/barriers are accounted...
+            assert st.busy + st.stall <= st.span + 1e-12  # ...separately
 
     def test_critical_rank_exists(self):
         assert critical_rank(traced_run()) in range(4)
