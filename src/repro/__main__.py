@@ -43,6 +43,15 @@ Commands
     (``--jobs N``), memoizes results in ``benchmarks/results/cache/``
     and serializes every sweep to ``BENCH_*.json`` plus a consolidated
     ``BENCH_summary.json`` (see ``docs/benchmarks.md``).
+
+``lint <collective>|all``
+    Static schedule analysis: extract each registered schedule into an
+    op-dependency IR (one traced run at small p) and run the pass
+    pipeline — deadlock freedom, Theorem 3.1 DAV, buffer lints, NUMA /
+    false-sharing placement, critical-path bound (see
+    ``docs/static_analysis.md``).  Exits non-zero on error-severity
+    findings; ``--json`` shares the Finding format with ``analyze
+    --json``.
 """
 
 from __future__ import annotations
@@ -104,6 +113,9 @@ def main(argv=None) -> int:
                           "'none' for pure functional (default)")
     ana.add_argument("--schedule-seed", type=int, default=None,
                      help="randomize the engine schedule")
+    ana.add_argument("--json", action="store_true",
+                     help="machine-readable findings on stdout "
+                          "(schema repro-analyze/1; progress on stderr)")
 
     ver = sub.add_parser(
         "verify", help="DPOR exhaustive interleaving verification"
@@ -136,6 +148,10 @@ def main(argv=None) -> int:
     from repro.bench.cli import add_bench_parser
 
     add_bench_parser(sub)
+
+    from repro.analysis.static.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     args = parser.parse_args(argv)
 
@@ -177,6 +193,10 @@ def main(argv=None) -> int:
 
     if args.command == "analyze":
         from repro.analysis.runner import analyze_collective, render_results
+        from repro.analysis.static.report import (
+            findings_from_analysis,
+            findings_to_json,
+        )
 
         if args.machine == "none":
             machines = [None]
@@ -185,9 +205,12 @@ def main(argv=None) -> int:
         else:
             machines = [PRESETS[args.machine]]
         failed = False
+        json_cases = []
         for mach in machines:
             label = mach.name if mach is not None else "functional"
-            print(f"== {label} (p={args.nranks}, s={args.size}) ==")
+            out = sys.stderr if args.json else sys.stdout
+            print(f"== {label} (p={args.nranks}, s={args.size}) ==",
+                  file=out)
             try:
                 results = analyze_collective(
                     args.collective, machine=mach, nranks=args.nranks,
@@ -196,8 +219,24 @@ def main(argv=None) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            print(render_results(results))
+            print(render_results(results), file=out)
             failed = failed or any(not r.ok for r in results)
+            for res in results:
+                json_cases.append({
+                    "case": res.case.label,
+                    "machine": label,
+                    "ok": res.ok,
+                    "findings": [f.to_dict()
+                                 for f in findings_from_analysis(res)],
+                })
+        if args.json:
+            print(findings_to_json({
+                "schema": "repro-analyze/1",
+                "nranks": args.nranks,
+                "s": args.size,
+                "cases": json_cases,
+                "ok": not failed,
+            }, indent=2))
         return 1 if failed else 0
 
     if args.command == "verify":
@@ -252,6 +291,11 @@ def main(argv=None) -> int:
         from repro.obs.cli import run_trace_command
 
         return run_trace_command(args)
+
+    if args.command == "lint":
+        from repro.analysis.static.cli import run_lint_command
+
+        return run_lint_command(args)
 
     if args.command == "compare":
         print(compare_priorities(

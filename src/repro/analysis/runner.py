@@ -38,6 +38,9 @@ class Case:
     dav_algorithm: str  # models.dav row name, "" when no table row
     run: Callable[[Engine, int], None]
     k: int = 2       # RG tree branch, forwarded to the DAV formula
+    locality: str = ""  # algorithm's placement contract ("socket" =
+    # promises socket-local traffic; the static NUMA lint escalates
+    # violations to errors)
 
     @property
     def label(self) -> str:
@@ -85,7 +88,8 @@ def _cases() -> List[Case]:
         for kind, alg in kinds.items():
             k = int(getattr(alg, "branch", 2))
             cases.append(Case(collective, kind, dav_name,
-                              _reduce_runner(alg), k=k))
+                              _reduce_runner(alg), k=k,
+                              locality=str(getattr(alg, "locality", ""))))
     cases.append(Case("bcast", "bcast", "", lambda eng, s:
                       run_bcast_collective(PIPELINED_BCAST, eng, s,
                                            imax=max(512, s // 4))))

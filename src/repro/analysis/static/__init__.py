@@ -1,0 +1,99 @@
+"""Static schedule analysis: a pass pipeline over the op-dependency IR.
+
+The dynamic tooling in :mod:`repro.analysis` (vector-clock races, DAV
+checks), :mod:`repro.analysis.mc` (exhaustive schedule exploration)
+and :mod:`repro.sim.buffers` (shadow-memory sanitizer) all judge
+*executions*.  This package judges the *schedule*: one traced run at
+small ``p`` lifts a collective into a static DAG
+(:class:`~repro.analysis.static.ir.ScheduleIR`), and every verdict
+after that — deadlock freedom, Theorem 3.1 byte accounting, buffer
+races and uninitialized reads, NUMA placement, the critical-path time
+bound — is computed from graph structure alone.
+
+CLI: ``python -m repro lint <collective>|all [--json] [--ir-out DIR]``;
+library: :meth:`repro.library.yhccl.YHCCL.lint`.
+"""
+
+from repro.analysis.static.extract import (
+    extract_case,
+    extract_collective,
+    extract_from_certificate,
+    extract_program,
+    ir_from_trace,
+)
+from repro.analysis.static.ir import (
+    IR_SCHEMA,
+    SUPPORTED_IR_SCHEMAS,
+    BufferInfo,
+    Edge,
+    Footprint,
+    IRValidationError,
+    OpNode,
+    ScheduleIR,
+    ir_from_json,
+    ir_to_json,
+)
+from repro.analysis.static.lint import (
+    lint_all,
+    lint_case,
+    lint_collective,
+    lint_ir,
+    render_reports,
+    reports_to_payload,
+)
+from repro.analysis.static.passes import (
+    DEFAULT_PASSES,
+    BufferPass,
+    CriticalPathPass,
+    DeadlockPass,
+    ExtractionPass,
+    LocalityPass,
+    Pass,
+    StaticDavPass,
+    run_passes,
+)
+from repro.analysis.static.report import (
+    SEVERITIES,
+    Finding,
+    Report,
+    findings_from_analysis,
+    findings_to_json,
+)
+
+__all__ = [
+    "IR_SCHEMA",
+    "SUPPORTED_IR_SCHEMAS",
+    "SEVERITIES",
+    "DEFAULT_PASSES",
+    "BufferInfo",
+    "BufferPass",
+    "CriticalPathPass",
+    "DeadlockPass",
+    "Edge",
+    "ExtractionPass",
+    "Finding",
+    "Footprint",
+    "IRValidationError",
+    "LocalityPass",
+    "OpNode",
+    "Pass",
+    "Report",
+    "ScheduleIR",
+    "StaticDavPass",
+    "extract_case",
+    "extract_collective",
+    "extract_from_certificate",
+    "extract_program",
+    "findings_from_analysis",
+    "findings_to_json",
+    "ir_from_json",
+    "ir_from_trace",
+    "ir_to_json",
+    "lint_all",
+    "lint_case",
+    "lint_collective",
+    "lint_ir",
+    "render_reports",
+    "reports_to_payload",
+    "run_passes",
+]

@@ -1,0 +1,75 @@
+"""``python -m repro lint`` — static schedule linting.
+
+Follows the ``repro.bench.cli`` / ``repro.obs.cli`` convention:
+:func:`add_lint_parser` registers the subcommand,
+:func:`run_lint_command` executes it.  Exit status is non-zero only on
+*error*-severity findings (warnings and infos never break CI — the
+``lint-schedules`` job relies on that contract).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.machine.spec import PRESETS
+
+
+def add_lint_parser(sub) -> None:
+    lint = sub.add_parser(
+        "lint",
+        help="static schedule analysis (deadlock/DAV/buffer/NUMA/"
+             "critical-path passes over the extracted IR)",
+    )
+    lint.add_argument("collective", nargs="?", default="all",
+                      help="matrix name (see 'info') or 'all'")
+    lint.add_argument("-n", "--nranks", type=int, default=None,
+                      help="extraction rank count (default 4)")
+    lint.add_argument("-s", "--size", type=int, default=None,
+                      help="message size in bytes (default 1024)")
+    lint.add_argument("--machine", default="NodeA",
+                      choices=["none"] + sorted(PRESETS),
+                      help="machine preset for the locality and "
+                           "critical-path passes ('none' disables them; "
+                           "default NodeA)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings on stdout "
+                           "(schema repro-lint/1)")
+    lint.add_argument("--ir-out", default="", metavar="DIR",
+                      help="also write each extracted schedule IR "
+                           "(repro-ir/1 JSON) into this directory")
+
+
+def run_lint_command(args) -> int:
+    from repro.analysis.static.extract import DEFAULT_NRANKS, DEFAULT_S
+    from repro.analysis.static.lint import (
+        dump_irs,
+        lint_all,
+        lint_collective,
+        render_reports,
+        reports_to_payload,
+    )
+    from repro.analysis.static.report import findings_to_json
+
+    nranks = DEFAULT_NRANKS if args.nranks is None else args.nranks
+    s = DEFAULT_S if args.size is None else args.size
+    machine = None if args.machine == "none" else PRESETS[args.machine]
+    ir_sink: dict = {} if args.ir_out else None
+    try:
+        if args.collective == "all":
+            reports = lint_all(nranks=nranks, s=s, machine=machine,
+                               ir_sink=ir_sink)
+        else:
+            reports = lint_collective(args.collective, nranks=nranks,
+                                      s=s, machine=machine,
+                                      ir_sink=ir_sink)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.ir_out:
+        for path in dump_irs(ir_sink, args.ir_out):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(findings_to_json(reports_to_payload(reports), indent=2))
+    else:
+        print(render_reports(reports))
+    return 0 if all(r.ok for r in reports) else 1

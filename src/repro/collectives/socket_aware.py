@@ -93,6 +93,9 @@ class SocketAwareReduceScatter:
 
     name = "socket-ma-reduce-scatter"
     kind = "reduce_scatter"
+    #: placement contract: level 1 stays inside each socket's shm
+    #: segment; the static NUMA lint holds the schedule to this
+    locality = "socket"
 
     def work_set(self, env: CollectiveEnv) -> int:
         return env.s * env.p + env.s + env.p * env.imax
@@ -123,6 +126,7 @@ class SocketAwareAllreduce:
 
     name = "socket-ma-allreduce"
     kind = "allreduce"
+    locality = "socket"
 
     def work_set(self, env: CollectiveEnv) -> int:
         # Section 4.3.1 prints W = 2sp + m*p*I, but Section 5.4's numeric
@@ -160,6 +164,7 @@ class SocketAwareReduce:
 
     name = "socket-ma-reduce"
     kind = "reduce"
+    locality = "socket"
 
     def work_set(self, env: CollectiveEnv) -> int:
         return env.s * env.p + env.s + env.p * env.imax

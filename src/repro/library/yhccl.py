@@ -150,6 +150,51 @@ class YHCCL:
             pass  # the trace carries the blocked certificates
         return analyze_trace(eng.trace, eng.nranks)
 
+    def lint(self, kind: str, nbytes: int, *, op: str = "sum",
+             nranks: Optional[int] = None):
+        """Statically lint the schedule YHCCL would select for
+        ``(kind, nbytes)``.
+
+        One traced functional run (``nranks`` defaults to 4) lifts the
+        selected algorithm into a schedule IR; the full static pass
+        pipeline — deadlock freedom, Theorem 3.1 DAV, buffer lints,
+        NUMA/false-sharing placement, critical-path bound — then runs
+        over the DAG with no further execution.  Returns the
+        :class:`~repro.analysis.static.Report` (``report.ok`` means no
+        error-severity findings).  See ``docs/static_analysis.md``.
+        """
+        from repro.analysis.static import extract_program, run_passes
+
+        sel = self._select(kind, nbytes) if kind in ("bcast", "allgather") \
+            else select(kind, nbytes, self.config, op=op)
+        runner = {
+            "bcast": run_bcast_collective,
+            "allgather": run_allgather_collective,
+        }.get(kind, run_reduce_collective)
+        kw = {} if kind in ("bcast", "allgather") else {"op": op}
+        p = 4 if nranks is None else nranks
+
+        def run(eng):
+            runner(sel.algorithm, eng, nbytes,
+                   copy_policy=sel.copy_policy, imax=self.config.imax, **kw)
+
+        ir = extract_program(
+            run, nranks=p, label=f"{sel.algorithm.name}/{kind}",
+            kind=kind, s=nbytes, machine=self.comm.machine,
+        )
+        ir.meta["locality"] = str(getattr(sel.algorithm, "locality", ""))
+        # extract_program cannot know which Table 1-3 row models this
+        # algorithm; recover it by identity from the registry so the
+        # static DAV pass checks instead of skipping.  bcast/allgather
+        # ("pipelined") keep "" — their formulas key on kind alone.
+        from repro.library.mpi import ALGORITHMS
+        for name, kinds in ALGORITHMS.items():
+            if name != "pipelined" and kinds.get(kind) is sel.algorithm:
+                ir.meta["dav_algorithm"] = "dpml" if name == "dpml2" else name
+                ir.meta["k"] = int(getattr(sel.algorithm, "branch", 2))
+                break
+        return run_passes(ir)
+
     def verify(self, kind: str, nbytes: int, *, op: str = "sum",
                nranks: Optional[int] = None, sanitize: bool = False,
                max_schedules: Optional[int] = None):

@@ -30,6 +30,49 @@ _SYNC_STEPS = {
 }
 
 
+def op_touched_bytes(kind: str, nbytes: int) -> int:
+    """Theorem 3.1 accounting for one engine operation: a copy touches
+    ``2n`` bytes (load + store), a reduce ``3n`` (two loads + store), a
+    touch ``n``; synchronization and compute move nothing."""
+    if kind == "copy":
+        return 2 * nbytes
+    if kind.startswith("reduce"):
+        return 3 * nbytes
+    if kind == "touch":
+        return nbytes
+    return 0
+
+
+def static_op_time(kind: str, nbytes: int, *, cache_bandwidth_core: float,
+                   op_overhead: float, sync_latency: float = 0.0,
+                   duration: float = 0.0) -> float:
+    """Optimistic cost of one operation, for static critical-path
+    weighting (:mod:`repro.analysis.static`).
+
+    Every term is a *lower bound* on what the event simulator charges:
+    data ops run entirely cache-resident at the per-core cache
+    bandwidth plus the fixed per-call overhead; waits/barriers pay
+    ``sync_latency`` (the caller passes the intra-socket barrier tree
+    latency for barriers — the cheapest the engine ever charges — and
+    ``0`` for waits, whose release latency rides the post→wait sync
+    edge instead: a wait whose posts landed long ago is free); posts
+    are free; compute regions use their program-declared ``duration``.
+    Summed along the longest dependency path this yields a
+    completion-time bound no schedule of the same DAG can beat on the
+    same machine.
+    """
+    if kind == "compute":
+        return duration
+    if kind == "post":
+        return 0.0
+    if kind in ("wait", "barrier"):
+        return sync_latency
+    touched = op_touched_bytes(kind, nbytes)
+    if touched == 0:
+        return 0.0
+    return touched / cache_bandwidth_core + op_overhead
+
+
 def predict_time(kind: str, algorithm: str, s: int, p: int,
                  machine: MachineSpec, *, imax: int = 256 * 1024,
                  nt_stores: bool = False) -> float:

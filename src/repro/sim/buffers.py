@@ -81,6 +81,10 @@ class Buffer:
         self.home_socket = home_socket
         self.data = data
         self.name = name or f"buf{self.buf_id}"
+        #: whether allocation produced defined contents (a fill or
+        #: random payload); consumed by the sanitizer's initial shadow
+        #: state and the static uninit-read pass
+        self.initialized = False
         #: shadow state, attached by :meth:`Sanitizer.attach`
         self.shadow: Optional["Shadow"] = None
 
@@ -174,7 +178,11 @@ def alloc(nbytes: int, *, dtype=np.float64, functional: bool,
           owner: Optional[int] = None, name: str = "") -> Buffer:
     """Allocate a private buffer, optionally with concrete data."""
     data = _make_data(nbytes, dtype, functional, fill, rng)
-    return Buffer(nbytes, owner=owner, data=data, name=name)
+    buf = Buffer(nbytes, owner=owner, data=data, name=name)
+    # fill/random allocations model initialized memory; a plain alloc
+    # is zero-filled for determinism but semantically uninitialized
+    buf.initialized = fill is not None or rng is not None
+    return buf
 
 
 def alloc_shared(nbytes: int, *, dtype=np.float64, functional: bool,

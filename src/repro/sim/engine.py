@@ -478,7 +478,7 @@ class Engine:
             # fill/random allocations model initialized memory; a plain
             # alloc is zero-filled for determinism but semantically
             # uninitialized, so the sanitizer flags reads before writes
-            self.sanitizer.attach(buf, initialized=fill is not None or random)
+            self.sanitizer.attach(buf, initialized=buf.initialized)
         self.buffers.append(buf)
         return buf
 

@@ -32,6 +32,12 @@ from repro.sim.trace import OpRecord, SpanRecord, Trace
 #: schema tag for schedule certificates
 CERT_SCHEMA = "repro-schedule/1"
 
+#: every certificate schema version :func:`certificate_from_json` loads
+SUPPORTED_CERT_SCHEMAS = (CERT_SCHEMA,)
+
+#: every trace payload version :func:`trace_from_json` loads
+SUPPORTED_TRACE_VERSIONS = (1,)
+
 _FIELDS = ("rank", "kind", "nbytes", "src", "dst", "nt", "policy",
            "t_start", "t_end", "tag", "count", "group")
 
@@ -67,9 +73,15 @@ def trace_to_json(trace: Trace, *, indent: Optional[int] = None) -> str:
 def trace_from_json(text: str) -> Trace:
     """Parse a trace serialized by :func:`trace_to_json`."""
     payload = json.loads(text)
-    if payload.get("version") != 1:
+    if not isinstance(payload, dict):
         raise ValueError(
-            f"unsupported trace version {payload.get('version')!r}"
+            "trace payload must be a JSON object with a 'version' key"
+        )
+    if payload.get("version") not in SUPPORTED_TRACE_VERSIONS:
+        raise ValueError(
+            f"unsupported trace schema version "
+            f"{payload.get('version')!r}; supported versions: "
+            f"{', '.join(str(v) for v in SUPPORTED_TRACE_VERSIONS)}"
         )
     trace = Trace()
     for rec in payload["records"]:
@@ -148,9 +160,17 @@ def certificate_to_json(cert: ScheduleCertificate,
 def certificate_from_json(text: str) -> ScheduleCertificate:
     """Parse a certificate serialized by :func:`certificate_to_json`."""
     payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            "certificate payload must be a JSON object with a "
+            "'schema' key"
+        )
     schema = payload.pop("schema", None)
-    if schema != CERT_SCHEMA:
-        raise ValueError(f"unsupported certificate schema {schema!r}")
+    if schema not in SUPPORTED_CERT_SCHEMAS:
+        raise ValueError(
+            f"unsupported certificate schema {schema!r}; supported "
+            f"versions: {', '.join(SUPPORTED_CERT_SCHEMAS)}"
+        )
     known = {f for f in ScheduleCertificate.__dataclass_fields__}
     unknown = set(payload) - known
     if unknown:

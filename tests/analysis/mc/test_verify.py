@@ -133,8 +133,17 @@ class TestCertificates:
             verify_program(partial_post_deadlock, nranks=2,
                            label="x").certificate
         ).replace("repro-schedule/1", "repro-schedule/99")
-        with pytest.raises(ValueError, match="schema"):
+        with pytest.raises(ValueError,
+                           match=r"schema.*supported.*repro-schedule/1"):
             certificate_from_json(text)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            certificate_from_json("[]")
+
+    def test_missing_schema_names_supported_versions(self):
+        with pytest.raises(ValueError, match="repro-schedule/1"):
+            certificate_from_json("{}")
 
     def test_registered_case_certificate_replays(self):
         """A certificate for a registered collective re-runs through

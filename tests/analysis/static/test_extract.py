@@ -1,0 +1,138 @@
+"""Trace -> IR extraction: structure, sync edges, pending nodes."""
+
+import pytest
+
+from repro.analysis.runner import cases
+from repro.analysis.static.extract import (
+    extract_case,
+    extract_collective,
+    extract_from_certificate,
+    extract_program,
+)
+from repro.sim.replay import ScheduleCertificate
+from tests.analysis.mc.test_verify import (
+    partial_post_deadlock,
+    racy_ma_reduce,
+)
+
+
+def _pingpong(eng):
+    p = eng.nranks
+    shm = eng.alloc_shared(64 * p)
+    src = [eng.alloc(r, 64, random=True) for r in range(p)]
+
+    def prog(ctx):
+        r = ctx.rank
+        ctx.copy(shm.view(r * 64, 64), src[r].view())
+        ctx.post(("done", r))
+        yield ctx.wait(("done", (r + 1) % p), 1)
+        yield ctx.barrier(tuple(range(p)))
+
+    eng.run(prog)
+
+
+class TestExtractProgram:
+    def test_node_census(self):
+        ir = extract_program(_pingpong, nranks=2, label="pingpong")
+        sig = ir.signature()
+        assert sig["node_kinds"]["copy"] == 2
+        assert sig["node_kinds"]["post"] == 2
+        assert sig["node_kinds"]["wait"] == 2
+        # one join node for the whole group, not one per member
+        assert sig["node_kinds"]["barrier"] == 1
+        assert sig["pending"] == 0
+
+    def test_sync_edges_connect_matched_posts(self):
+        ir = extract_program(_pingpong, nranks=2, label="pingpong")
+        sync = [(e.src, e.dst) for e in ir.edges if e.kind == "sync"]
+        assert len(sync) == 2
+        for src, dst in sync:
+            assert ir.nodes[src].kind == "post"
+            assert ir.nodes[dst].kind == "wait"
+            # the cross-rank release: rank r waits on rank (r+1) % 2
+            assert ir.nodes[src].rank != ir.nodes[dst].rank
+
+    def test_barrier_join_orders_all_members(self):
+        ir = extract_program(_pingpong, nranks=2, label="pingpong")
+        (join,) = [n for n in ir.nodes if n.kind == "barrier"]
+        assert join.rank == -1
+        assert join.group == (0, 1)
+        for n in ir.nodes:
+            if n.kind != "barrier":
+                assert ir.happens_before(n.node, join.node)
+
+    def test_footprints_resolve_to_buffers(self):
+        ir = extract_program(_pingpong, nranks=2, label="pingpong")
+        copies = ir.by_kind("copy")
+        assert all(c.reads and c.writes for c in copies)
+        shm = [b for b in ir.buffers if b.shared]
+        assert len(shm) == 1
+        assert {fp.buf for c in copies for fp in c.writes} == {shm[0].buf}
+
+    def test_meta_carries_counters_and_sim_time(self):
+        ir = extract_program(_pingpong, nranks=2, label="pingpong")
+        assert ir.meta["counters"]["schema"] == "repro-obs/1"
+        assert ir.meta["deadlocked"] is False
+        assert ir.meta["error"] == ""
+
+    def test_deadlock_yields_pending_wait(self):
+        ir = extract_program(partial_post_deadlock, nranks=2,
+                             label="partial-post")
+        assert ir.meta["deadlocked"] is True
+        pending = [n for n in ir.nodes if n.pending]
+        assert len(pending) == 1
+        assert pending[0].kind == "wait"
+        assert pending[0].count == 2
+
+    def test_shared_buffers_marked_uninitialized(self):
+        ir = extract_program(racy_ma_reduce, nranks=3, label="racy")
+        shm = [b for b in ir.buffers if b.shared]
+        assert shm and not shm[0].initialized
+        fills = [b for b in ir.buffers if b.name == "recv"]
+        assert fills and fills[0].initialized
+
+
+class TestExtractCase:
+    def test_registered_case_dav_matches_counters(self):
+        case = cases("ma")[0]
+        ir = extract_case(case, nranks=4, s=1024)
+        obs = ir.meta["counters"]["totals"]["trace_dav"]
+        assert ir.static_dav() == obs
+
+    def test_machine_defaults_to_nodea(self):
+        ir = extract_case(cases("ma")[0])
+        assert ir.meta["machine"]["name"] == "NodeA"
+        assert ir.meta["machine"]["sockets"] == 2
+
+    def test_extract_collective_covers_matrix(self):
+        irs = extract_collective("socket_aware", nranks=4, s=512)
+        assert {ir.meta["kind"] for ir in irs} == {
+            "reduce_scatter", "allreduce", "reduce"}
+        assert all(ir.meta["locality"] == "socket" for ir in irs)
+
+
+class TestExtractCertificate:
+    def test_adhoc_certificate_rejected(self):
+        cert = ScheduleCertificate(
+            case="adhoc", collective="", kind="", nranks=2, s=64,
+            choices=[0, 1], failure="deadlock", detail="")
+        with pytest.raises(ValueError, match="extract_program"):
+            extract_from_certificate(cert)
+
+    def test_unknown_case_rejected(self):
+        cert = ScheduleCertificate(
+            case="nope/reduce", collective="nope", kind="reduce",
+            nranks=2, s=64, failure="deadlock")
+        with pytest.raises(ValueError, match="unknown collective"):
+            extract_from_certificate(cert)
+
+    def test_registered_certificate_replays_once(self):
+        cert = ScheduleCertificate(
+            case="ma/reduce_scatter", collective="ma",
+            kind="reduce_scatter", nranks=2, s=256,
+            choices=[0, 0, 1], failure="race", detail="witness")
+        ir = extract_from_certificate(cert)
+        assert ir.meta["certificate"]["failure"] == "race"
+        assert ir.meta["certificate"]["choices"] == [0, 0, 1]
+        assert ir.meta["machine"] is None  # functional replay
+        assert ir.static_dav() > 0

@@ -1,0 +1,66 @@
+"""Golden IR snapshots: every registered collective at p in {2, 4}.
+
+The snapshot is :meth:`ScheduleIR.signature` — node/edge census,
+per-rank data-op counts, sync structure and static DAV.  Deliberately
+machine- and timing-free, so the test pins the *schedule shape*: any
+reordered, missing, resized or duplicated operation fails it, while
+timing-model recalibration does not.
+
+To regenerate after an intentional schedule change::
+
+    PYTHONPATH=src python tests/analysis/static/test_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import cases
+from repro.analysis.static.extract import extract_case
+
+GOLDEN_PATH = Path(__file__).parent / "golden_ir.json"
+RANK_COUNTS = (2, 4)
+
+
+def _current():
+    out = {}
+    for p in RANK_COUNTS:
+        for c in cases("all"):
+            out[f"{c.label}@p{p}"] = extract_case(c, nranks=p).signature()
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("p", RANK_COUNTS)
+def test_signatures_match_golden(golden, p):
+    for c in cases("all"):
+        key = f"{c.label}@p{p}"
+        sig = extract_case(c, nranks=p).signature()
+        assert key in golden, f"{key} missing from golden file — " \
+            "regenerate (see module docstring)"
+        assert sig == golden[key], (
+            f"{key} schedule shape changed; if intentional, regenerate "
+            "the golden file (see module docstring)"
+        )
+
+
+def test_golden_covers_exactly_the_matrix(golden):
+    expected = {f"{c.label}@p{p}" for p in RANK_COUNTS
+                for c in cases("all")}
+    assert set(golden) == expected
+
+
+def test_signatures_are_deterministic():
+    c = cases("ma")[0]
+    assert extract_case(c).signature() == extract_case(c).signature()
+
+
+if __name__ == "__main__":  # regeneration helper
+    GOLDEN_PATH.write_text(
+        json.dumps(_current(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

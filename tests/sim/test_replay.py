@@ -47,6 +47,18 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="version"):
             trace_from_json('{"version": 9, "records": []}')
 
+    def test_bad_version_error_names_supported_versions(self):
+        with pytest.raises(ValueError, match=r"supported versions: 1"):
+            trace_from_json('{"version": 9, "records": []}')
+
+    def test_missing_version_rejected_clearly(self):
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            trace_from_json('{"records": []}')
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            trace_from_json('[1, 2, 3]')
+
     def test_rejects_unknown_fields(self):
         with pytest.raises(ValueError, match="unknown trace fields"):
             trace_from_json(
