@@ -43,6 +43,9 @@ Commands
     (``--jobs N``), memoizes results in ``benchmarks/results/cache/``
     and serializes every sweep to ``BENCH_*.json`` plus a consolidated
     ``BENCH_summary.json`` (see ``docs/benchmarks.md``).
+    ``--compiled`` replays cells through compiled schedules —
+    vectorized, bitwise-identical re-simulation (see
+    ``docs/compiled.md``).
 
 ``lint <collective>|all``
     Static schedule analysis: extract each registered schedule into an

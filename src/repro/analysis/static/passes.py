@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.dav import REL_TOL, predicted_dav
 from repro.analysis.static.ir import IRValidationError, ScheduleIR
 from repro.analysis.static.report import Finding, Report
+from repro.machine.spec import socket_of_rank_meta
 from repro.models.timing import static_op_time
 
 #: flag a schedule when more than this fraction of its accessed bytes
@@ -633,20 +634,46 @@ class CriticalPathPass(Pass):
         cbw = float(machine["cache_bandwidth_core"])
         ovh = float(machine["op_overhead"])
         intra = float(machine["sync_latency_intra"])
+        inter = float(machine.get("sync_latency_inter", intra))
+        sockets = int(machine.get("sockets", 1))
+        cps = int(machine.get("cores_per_socket", 1))
+        binding = str(machine.get("binding", "compact"))
+        nranks = ir.nranks or None
+
+        def sock(rank: int) -> int:
+            return socket_of_rank_meta(
+                rank, nranks, sockets=sockets, cores_per_socket=cps,
+                binding=binding,
+            )
+
+        def pair_lat(r1: int, r2: int) -> float:
+            return intra if sock(r1) == sock(r2) else inter
+
         finish: List[float] = [0.0] * len(ir.nodes)
         # the engine releases a wait at max(own clock, post clock +
         # pair latency): the latency rides the post->wait sync *edge*
         # (a wait whose posts landed long ago is free), while a barrier
-        # completion charges the whole group its tree latency
+        # completion charges the whole group its tree latency.  Both
+        # latencies depend on the machine's socket topology exactly as
+        # in the engine — intra-socket pairs/groups pay the cheap flag
+        # latency, cross-socket ones the coherence-miss latency — so
+        # the bound stays a bound without going needlessly slack on
+        # 1- and 4-socket presets.
         edge_w: Dict[Tuple[int, int], float] = {
-            (e.src, e.dst): intra for e in ir.edges if e.kind == "sync"
+            (e.src, e.dst): pair_lat(ir.nodes[e.src].rank,
+                                     ir.nodes[e.dst].rank)
+            for e in ir.edges
+            if e.kind == "sync" and ir.nodes[e.src].rank >= 0
+            and ir.nodes[e.dst].rank >= 0
         }
         for v in ir.toposort():
             n = ir.nodes[v]
             if n.kind == "barrier":
                 rounds = max(1, math.ceil(
                     math.log2(max(2, len(n.group)))))
-                lat = 2.0 * rounds * intra
+                blat = (inter if len({sock(r) for r in n.group}) > 1
+                        else intra)
+                lat = 2.0 * rounds * blat
             else:
                 lat = 0.0
             w = static_op_time(

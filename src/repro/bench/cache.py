@@ -24,22 +24,34 @@ from typing import Optional
 _SOURCE_VERSION: Optional[str] = None
 
 
-def iter_source_files():
-    """Every ``repro`` package source file, in stable order."""
+def package_root() -> Path:
+    """The ``repro`` package directory — the root all source hashes are
+    relative to."""
     import repro
 
-    pkg = Path(repro.__file__).resolve().parent
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_source_files():
+    """Every ``repro`` package source file, in stable order."""
+    pkg = package_root()
     return sorted(
         p for p in pkg.rglob("*.py") if "__pycache__" not in p.parts
     )
 
 
 def source_version() -> str:
-    """Content hash of the ``repro`` package sources (memoized)."""
+    """Content hash of the ``repro`` package sources (memoized).
+
+    Hash-relative paths are anchored at :func:`package_root`, not at the
+    parent of whichever file happens to sort first (``repro/__init__.py``
+    today, but any ``repro/aaa/`` subpackage would silently shift every
+    relative path and change the hash).
+    """
     global _SOURCE_VERSION
     if _SOURCE_VERSION is None:
         h = hashlib.sha256()
-        pkg_root = iter_source_files()[0].parent
+        pkg_root = package_root()
         for path in iter_source_files():
             h.update(str(path.relative_to(pkg_root)).encode())
             h.update(b"\0")
@@ -47,6 +59,15 @@ def source_version() -> str:
             h.update(b"\0")
         _SOURCE_VERSION = h.hexdigest()
     return _SOURCE_VERSION
+
+
+def reset_source_version() -> None:
+    """Drop the memoized source hash so the next :func:`source_version`
+    call re-reads the tree.  Called from the bench pool initializer (a
+    forked worker must not trust a hash memoized before the fork) and
+    from test fixtures that monkeypatch the source tree."""
+    global _SOURCE_VERSION
+    _SOURCE_VERSION = None
 
 
 def descriptor_key(descriptor: dict) -> str:

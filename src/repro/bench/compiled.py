@@ -1,0 +1,160 @@
+"""The compiled bench cell path: capture → lower → cache → replay.
+
+A sweep cell normally executes the coroutine engine twice (warm-up +
+measured iteration).  The compiled path instead:
+
+1. runs the cell **once** with tracing on (only on schedule-cache
+   miss), lifts the measured iteration into the ``repro-ir/1`` DAG and
+   lowers it (:func:`repro.sim.compiled.lower`);
+2. stores the lowered schedule in a content-addressed
+   :class:`CompiledScheduleCache` under
+   ``benchmarks/results/compiled/``, keyed with the same
+   ``(machine spec, runner spec, geometry, source_version)`` discipline
+   as the result cache — any source edit invalidates every schedule;
+3. replays cached schedules with the vectorized evaluator — no
+   coroutine execution at all on the re-simulation path.
+
+Replayed results are bitwise-identical to the coroutine cell (same
+completion times, same ``repro-obs/1`` counter snapshot), which the
+equivalence tests pin across the full collective × p matrix.  Because
+cache outcomes in the memory system are access-order and size
+dependent, schedules are captured per ``(collective, p, size)`` cell —
+cross-size reuse would silently break exactness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.cache import ResultCache, descriptor_key, source_version
+from repro.bench.runners import ITERATIONS
+from repro.bench.spec import RunnerSpec
+from repro.obs.counters import _TRAFFIC_FIELDS
+from repro.sim.compiled import (
+    COMPILED_SCHEMA,
+    CompiledSchedule,
+    lower,
+    schedule_from_doc,
+    schedule_to_doc,
+)
+
+
+class CompiledScheduleCache(ResultCache):
+    """Content-addressed store of lowered schedules.
+
+    Same entry layout and stats as the result cache (``key`` /
+    ``descriptor`` / ``result``, atomic writes), different payload:
+    ``result`` holds the ``repro-compiled/1`` schedule document.
+    Entries live under ``benchmarks/results/compiled/<k[:2]>/``.
+    """
+
+    def stats(self) -> str:
+        return f"{self.hits}/{self.lookups} schedules from cache"
+
+
+def schedule_descriptor(cell: dict) -> dict:
+    """The cache identity of a compiled schedule: full machine spec,
+    runner spec, geometry and the repro source version — the result
+    cache's key discipline under the compiled schema tag."""
+    from repro.machine.spec import PRESETS
+
+    return {
+        "schema": COMPILED_SCHEMA,
+        "source": source_version(),
+        "machine": dataclasses.asdict(PRESETS[cell["machine"]]),
+        "p": cell["p"],
+        "nbytes": cell["nbytes"],
+        "iterations": ITERATIONS,
+        "runner": cell["runner"],
+    }
+
+
+def capture_schedule(spec: RunnerSpec, machine, p: int,
+                     nbytes: int) -> CompiledSchedule:
+    """Run one cell through the coroutine engine with tracing on and
+    lower its measured iteration.
+
+    The traced run's clocks and traffic are identical to the untraced
+    bench cell's (tracing only observes), so the captured reference
+    times, DAV and per-rank traffic are exactly what the coroutine
+    path would report.
+    """
+    from repro.analysis.static.extract import ir_from_trace, machine_meta
+    from repro.library.communicator import Communicator
+
+    comm = Communicator(p, machine=machine, functional=False, trace=True)
+    cell = spec.resolve()(comm, nbytes)
+    res = comm.engine.last_result
+    if res is None or res.trace is None:
+        raise RuntimeError("cell runner did not execute the engine")
+    run_trace = res.trace.slice_last_run(res.first_record, res.first_span)
+    ir = ir_from_trace(run_trace, buffers=comm.engine.buffers, meta={
+        "label": f"{spec.family}/{spec.kind} p={p} s={nbytes}",
+        "collective": spec.kind,
+        "nranks": p,
+        "s": nbytes,
+        "machine": machine_meta(machine),
+        "sim_time": res.time,
+    })
+    cs = lower(ir)
+    cs.meta["algorithm"] = cell.algorithm
+    cs.meta["dav"] = int(res.traffic.dav) if res.traffic is not None else 0
+    cs.meta["times"] = [float(t) for t in res.times]
+    cs.meta["traffic"] = [
+        {name: int(getattr(tc, name)) for name in _TRAFFIC_FIELDS}
+        for tc in (res.per_rank_traffic or ())
+    ]
+    return cs
+
+
+def replay_cell(cs: CompiledSchedule) -> dict:
+    """Evaluate a compiled schedule into the bench cell result form
+    (the JSON-safe dict ``exec_payload`` returns): completion time,
+    DAV, algorithm and the ``repro-obs/1`` counter snapshot."""
+    from repro.obs.counters import Counters
+
+    times = cs.evaluate().rank_times
+    counters = Counters.from_machine(times, cs.meta.get("traffic") or None)
+    return {
+        "time": max(times),
+        "dav": int(cs.meta.get("dav", 0)),
+        "algorithm": cs.meta.get("algorithm", ""),
+        "counters": counters.snapshot(),
+    }
+
+
+def exec_compiled_cell(payload: dict) -> dict:
+    """Worker entry for a ``compiled: True`` cell payload.
+
+    Looks the lowered schedule up in the persistent cache (when the
+    payload names a results directory), capturing and storing it on
+    miss, then replays it.  The schedule cache stays enabled even under
+    ``--no-cache`` — disabling the *result* cache is how a ≥10× faster
+    full re-simulation is produced, which only works if schedules
+    persist.
+    """
+    from repro.machine.spec import PRESETS
+
+    cache: Optional[CompiledScheduleCache] = None
+    results_dir = payload.get("results_dir")
+    if results_dir:
+        cache = CompiledScheduleCache(Path(results_dir) / "compiled")
+    key = descriptor_key(schedule_descriptor(payload))
+    cs: Optional[CompiledSchedule] = None
+    if cache is not None:
+        doc = cache.get(key)
+        if doc is not None:
+            try:
+                cs = schedule_from_doc(doc)
+            except (ValueError, KeyError, TypeError):
+                cs = None  # corrupt/stale entry: recapture
+    if cs is None:
+        spec = RunnerSpec.from_dict(payload["runner"])
+        cs = capture_schedule(spec, PRESETS[payload["machine"]],
+                              payload["p"], payload["nbytes"])
+        if cache is not None:
+            cache.put(key, schedule_descriptor(payload),
+                      schedule_to_doc(cs))
+    return replay_cell(cs)

@@ -43,9 +43,13 @@ def _quick() -> bool:
 def _worker_init(bench_dir: str) -> None:
     """Make the benchmarks directory importable inside workers (needed
     for custom cells under spawn-based start methods; harmless under
-    fork)."""
+    fork), and drop any source-version hash memoized before the fork —
+    a worker must key cache entries off the tree it actually sees."""
     import sys
 
+    from repro.bench.cache import reset_source_version
+
+    reset_source_version()
     if bench_dir and bench_dir not in sys.path:
         sys.path.insert(0, bench_dir)
 
@@ -53,6 +57,10 @@ def _worker_init(bench_dir: str) -> None:
 def exec_payload(payload: dict) -> dict:
     """Execute one cell payload; returns a JSON-safe result dict."""
     if payload["type"] == "cell":
+        if payload.get("compiled"):
+            from repro.bench.compiled import exec_compiled_cell
+
+            return exec_compiled_cell(payload)
         from repro.library.communicator import Communicator
         from repro.machine.spec import PRESETS
 
@@ -73,12 +81,19 @@ def exec_payload(payload: dict) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def cell_descriptor(cell: dict) -> dict:
+def cell_descriptor(cell: dict, *, compiled: bool = False) -> dict:
     """The cache identity of a sweep cell: full machine spec, runner
-    spec, geometry and the repro source version."""
+    spec, geometry and the repro source version.
+
+    Compiled-mode results key separately (``engine: "compiled"`` is
+    added *only* then, so every pre-existing coroutine key is
+    byte-stable): replayed results are bitwise-equal to coroutine ones
+    by construction, but sharing entries would let a cached coroutine
+    result mask a compiled-path regression.
+    """
     from repro.machine.spec import PRESETS
 
-    return {
+    desc = {
         "schema": SCHEMA,
         "source": source_version(),
         "machine": dataclasses.asdict(PRESETS[cell["machine"]]),
@@ -87,6 +102,9 @@ def cell_descriptor(cell: dict) -> dict:
         "iterations": ITERATIONS,
         "runner": cell["runner"],
     }
+    if compiled:
+        desc["engine"] = "compiled"
+    return desc
 
 
 def custom_descriptor(module_path: Path, attr: str) -> dict:
@@ -157,7 +175,8 @@ def _drain(work: "list[_Work]", cache: Optional[ResultCache],
                 cache.put(w.key, w.descriptor, w.result)
 
 
-def _sweep_work(spec: SweepSpec) -> "list[_Work]":
+def _sweep_work(spec: SweepSpec, *, compiled: bool = False,
+                results_dir: Optional[Path] = None) -> "list[_Work]":
     out = []
     for cell in spec.cells():
         payload = {
@@ -167,7 +186,11 @@ def _sweep_work(spec: SweepSpec) -> "list[_Work]":
             "nbytes": cell["nbytes"],
             "runner": cell["runner"],
         }
-        out.append(_Work(payload, cell_descriptor(cell)))
+        if compiled:
+            payload["compiled"] = True
+            if results_dir is not None:
+                payload["results_dir"] = str(results_dir)
+        out.append(_Work(payload, cell_descriptor(cell, compiled=compiled)))
     return out
 
 
@@ -186,13 +209,17 @@ def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
 
 def run_sweep_table(spec: SweepSpec, *,
                     cache: Optional[ResultCache] = None,
-                    pool: Optional[ProcessPoolExecutor] = None) -> SweepTable:
+                    pool: Optional[ProcessPoolExecutor] = None,
+                    compiled: bool = False,
+                    results_dir: Optional[Path] = None) -> SweepTable:
     """Execute one sweep (serial and uncached unless given otherwise).
 
     This is the pytest benchmark path: the per-figure modules call it
     from their ``run_figure`` helpers and keep their shape assertions.
+    ``compiled=True`` replays lowered schedules instead of executing
+    the coroutine engine (persisted under ``results_dir`` when given).
     """
-    work = _sweep_work(spec)
+    work = _sweep_work(spec, compiled=compiled, results_dir=results_dir)
     _drain(work, cache, pool)
     return _sweep_table(spec, work)
 
@@ -200,8 +227,15 @@ def run_sweep_table(spec: SweepSpec, *,
 def run_benchmark(bench: Benchmark, *,
                   bench_dir: Optional[Path] = None,
                   cache: Optional[ResultCache] = None,
-                  pool: Optional[ProcessPoolExecutor] = None) -> BenchResult:
-    """Execute one benchmark through the cache/pool machinery."""
+                  pool: Optional[ProcessPoolExecutor] = None,
+                  compiled: bool = False,
+                  results_dir: Optional[Path] = None) -> BenchResult:
+    """Execute one benchmark through the cache/pool machinery.
+
+    ``compiled`` applies to declarative sweep cells only: custom
+    benchmark functions drive the engine themselves and always run the
+    coroutine path.
+    """
     result = BenchResult(name=bench.name)
     if bench.custom:
         from repro.bench.discover import benchmarks_dir
@@ -218,7 +252,8 @@ def run_benchmark(bench: Benchmark, *,
         _drain(work, cache, pool)
         result.custom_payload = work[0].result["payload"]
         return result
-    all_work = [_sweep_work(s) for s in bench.sweeps]
+    all_work = [_sweep_work(s, compiled=compiled, results_dir=results_dir)
+                for s in bench.sweeps]
     flat = [w for ws in all_work for w in ws]
     _drain(flat, cache, pool)
     for spec, work in zip(bench.sweeps, all_work):
@@ -232,12 +267,16 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
               jobs: int = 1,
               use_cache: bool = True,
               write_json: bool = True,
+              compiled: bool = False,
               progress=None):
     """Run a set of benchmarks; write per-benchmark JSON documents and
     the consolidated ``BENCH_summary.json``.
 
     Returns ``(summary, docs, cache)``.  ``jobs <= 0`` means one worker
-    per CPU core; ``jobs == 1`` runs inline (no pool).
+    per CPU core; ``jobs == 1`` runs inline (no pool).  ``compiled``
+    switches sweep cells to the compiled-schedule replay path; the
+    lowered schedules persist under ``<results_dir>/compiled/`` even
+    when the result cache is disabled.
     """
     from repro.bench.discover import benchmarks_dir, default_results_dir
     from repro.bench.jsonio import write_json as _write
@@ -259,7 +298,8 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
             if progress is not None:
                 progress(f"[bench] {name} ...")
             res = run_benchmark(bench, bench_dir=bench_dir, cache=cache,
-                                pool=pool)
+                                pool=pool, compiled=compiled,
+                                results_dir=results_dir)
             doc = res.doc()
             docs.append(doc)
             if write_json:

@@ -6,7 +6,16 @@ written with sorted keys and fixed indentation so that two runs with
 identical results produce byte-identical files — the property the
 parallel-vs-serial equality tests pin down.  Nothing time- or
 host-dependent (wall clock, cache hit counts, worker counts) goes into
-these files.
+these files *as written by the suite*.
+
+One documented exception: the CLI front end appends an advisory
+``wall_clock`` block to ``BENCH_summary.json`` after a run, recording
+suite wall-clock per engine mode (coroutine vs compiled) and their
+ratio — the before/after evidence for the compiled evaluator.  The
+block is provenance, not results: it is keyed to the source version,
+replaced wholesale when the tree changes, and excluded from every
+determinism guarantee (:func:`summary_doc` output itself stays
+byte-stable).
 """
 
 from __future__ import annotations

@@ -85,6 +85,27 @@ class SocketSpec:
         return self.l3.size + self.cores * self.l2_per_core.size
 
 
+def socket_of_rank_meta(rank: int, nranks: int | None, *, sockets: int,
+                        cores_per_socket: int,
+                        binding: str = "compact") -> int:
+    """Rank → socket mapping from bare topology constants.
+
+    The single implementation behind
+    :meth:`MachineSpec.socket_of_rank`; also callable from consumers
+    that only hold the JSON machine-meta projection carried in
+    ``repro-ir/1`` documents (the static critical-path pass, the
+    compiled-schedule lowering) rather than a full spec object.
+    """
+    if rank < 0:
+        raise ValueError("rank must be non-negative")
+    if binding == "scatter":
+        return rank % sockets
+    if nranks is not None and nranks <= sockets * cores_per_socket:
+        per = -(-nranks // sockets)  # ceil: spread over sockets
+        return min(rank // per, sockets - 1)
+    return (rank // cores_per_socket) % sockets
+
+
 @dataclass(frozen=True)
 class MachineSpec:
     """A shared-memory node: homogeneous sockets plus interconnect.
@@ -143,14 +164,10 @@ class MachineSpec:
         right order" (artifact step S8).  ``scatter`` round-robins
         ranks over sockets (the misconfiguration S8 warns about).
         """
-        if rank < 0:
-            raise ValueError("rank must be non-negative")
-        if self.binding == "scatter":
-            return rank % self.sockets
-        if nranks is not None and nranks <= self.total_cores:
-            per = -(-nranks // self.sockets)  # ceil: spread over sockets
-            return min(rank // per, self.sockets - 1)
-        return (rank // self.socket.cores) % self.sockets
+        return socket_of_rank_meta(
+            rank, nranks, sockets=self.sockets,
+            cores_per_socket=self.socket.cores, binding=self.binding,
+        )
 
     def __post_init__(self) -> None:
         if self.sockets <= 0:

@@ -19,14 +19,23 @@ from repro.machine.spec import MachineSpec, available_cache_capacity
 from repro.models.dav import DAV_FORMULAS
 from repro.models.nt_model import work_set_size
 
-#: sync steps on the critical path, per algorithm (rounds as f(p))
+#: sync steps on the critical path, per algorithm (rounds as
+#: f(size, ranks, slice cap, sockets)).  ``m`` is the machine's socket
+#: count: socket-aware MA synchronizes within each of the ``m``
+#: per-socket groups of ``p // m`` ranks, then once per extra socket at
+#: the cross-socket combine — with ``m = 1`` it degenerates to flat MA,
+#: and ``m = 2`` reproduces the two-socket form the model originally
+#: hard-coded.
 _SYNC_STEPS = {
-    "ma": lambda s, p, imax: (p - 1) * max(1, s // (p * imax)),
-    "socket-ma": lambda s, p, imax: (p // 2 - 1) * max(1, s // (p * imax)) + 1,
-    "ring": lambda s, p, imax: p - 1,
-    "rabenseifner": lambda s, p, imax: max(1, p.bit_length() - 1),
-    "dpml": lambda s, p, imax: 2,
-    "rg": lambda s, p, imax: max(1, p.bit_length() - 1) + s // imax,
+    "ma": lambda s, p, imax, m: (p - 1) * max(1, s // (p * imax)),
+    "socket-ma": lambda s, p, imax, m: (
+        (max(1, p // max(1, m)) - 1) * max(1, s // (p * imax))
+        + (max(1, m) - 1)
+    ),
+    "ring": lambda s, p, imax, m: p - 1,
+    "rabenseifner": lambda s, p, imax, m: max(1, p.bit_length() - 1),
+    "dpml": lambda s, p, imax, m: 2,
+    "rg": lambda s, p, imax, m: max(1, p.bit_length() - 1) + s // imax,
 }
 
 
@@ -101,6 +110,6 @@ def predict_time(kind: str, algorithm: str, s: int, p: int,
             f"no sync-step model for algorithm {algorithm!r}; known: "
             f"{', '.join(sorted(_SYNC_STEPS))}"
         ) from None
-    syncs = sync_fn(s, p, imax)
+    syncs = sync_fn(s, p, imax, machine.sockets)
     t_sync = syncs * machine.sync_latency_intra * 2
     return traffic / bw + t_sync

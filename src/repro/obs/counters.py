@@ -94,6 +94,10 @@ class RankCounters:
 _INT_FIELDS = ("copy_bytes", "nt_copy_bytes", "reduce_bytes", "touch_bytes",
                "logical_load", "logical_store", "cache_hit_bytes",
                "mem_read_bytes", "mem_write_bytes", "numa_bytes", "c2c_bytes")
+#: the memory-level subset, fillable from per-rank TrafficCounters
+_TRAFFIC_FIELDS = ("logical_load", "logical_store", "cache_hit_bytes",
+                   "mem_read_bytes", "mem_write_bytes", "numa_bytes",
+                   "c2c_bytes")
 _TIME_FIELDS = ("sync_wait_time", "barrier_stall_time", "busy_time",
                 "finish_time")
 _DERIVED_FIELDS = ("dav", "trace_dav", "utilization")
@@ -207,16 +211,32 @@ class Counters:
             rc.span = span
         return out
 
+    @classmethod
+    def from_machine(cls, times: list,
+                     per_rank_traffic: Optional[list] = None) -> "Counters":
+        """Counters for a machine-model, *untraced* execution: per-rank
+        finish times plus the memory-level traffic breakdown — exactly
+        the form benchmark cells persist.  ``per_rank_traffic`` entries
+        may be :class:`~repro.machine.memory.TrafficCounters` objects or
+        plain dicts (the compiled-schedule replay path stores the
+        captured breakdown as dicts)."""
+        out = cls(ranks=[RankCounters(rank=r) for r in range(len(times))])
+        if per_rank_traffic is not None:
+            out._fill_traffic(per_rank_traffic)
+        for rc, t in zip(out.ranks, times):
+            rc.finish_time = float(t)
+        span = out.span
+        for rc in out.ranks:
+            rc.span = span
+        return out
+
     def _fill_traffic(self, per_rank_traffic: list) -> None:
         self.machine = True
         for rc, tc in zip(self.ranks, per_rank_traffic):
-            rc.logical_load = tc.logical_load
-            rc.logical_store = tc.logical_store
-            rc.cache_hit_bytes = tc.cache_hit_bytes
-            rc.mem_read_bytes = tc.mem_read_bytes
-            rc.mem_write_bytes = tc.mem_write_bytes
-            rc.numa_bytes = tc.numa_bytes
-            rc.c2c_bytes = tc.c2c_bytes
+            for name in _TRAFFIC_FIELDS:
+                value = (tc[name] if isinstance(tc, dict)
+                         else getattr(tc, name))
+                setattr(rc, name, int(value))
 
     # ---- serialization ----------------------------------------------
 

@@ -25,6 +25,14 @@ from repro.sim.buffers import (
     SanitizerError,
     SharedBuffer,
 )
+from repro.sim.compiled import (
+    CompiledSchedule,
+    CompiledTimes,
+    CompileError,
+    lower,
+    schedule_from_doc,
+    schedule_to_doc,
+)
 from repro.sim.engine import (
     BlockedInfo,
     DeadlockError,
@@ -51,6 +59,12 @@ __all__ = [
     "FifoScheduler",
     "ControlledScheduler",
     "StepRecord",
+    "CompileError",
+    "CompiledSchedule",
+    "CompiledTimes",
+    "lower",
+    "schedule_from_doc",
+    "schedule_to_doc",
     "Engine",
     "RankCtx",
     "RunResult",

@@ -1,0 +1,446 @@
+"""Compiled schedule evaluator: vectorized replay of the op-dependency IR.
+
+The coroutine engine (:mod:`repro.sim.engine`) interprets a collective
+one operation at a time per rank — generator dispatch, memory-system
+calls, scheduler bookkeeping — and is the hot path under every
+benchmark sweep.  But under the default FIFO scheduler a collective's
+*schedule shape* is deterministic: the same ops, the same sync
+structure, the same cache outcomes on every execution.  This module
+exploits that by splitting the work in two:
+
+1. **capture** — run the collective *once* through the coroutine
+   engine with tracing on and lift the run into the ``repro-ir/1``
+   op-dependency DAG (:mod:`repro.analysis.static`);
+2. **lower** (:func:`lower`) — flatten the DAG into a topologically
+   ordered table of numpy arrays: op kind, byte footprint, rank,
+   calibrated duration and CSR predecessor offsets carrying the
+   post→wait pair latencies the engine charges on sync edges;
+3. **evaluate** (:meth:`CompiledSchedule.evaluate`) — recompute every
+   op's completion time with level-by-level vectorized max-plus
+   relaxations.  No coroutines, no Python-level per-op dispatch.
+
+The completion-time recurrence is exactly the engine's:
+
+* a data op completes at ``start + duration``;
+* a wait releases at ``max(own clock, post clock + pair latency)`` —
+  the pair latency rides the sync edge, so a wait whose posts landed
+  long ago is free;
+* a barrier join completes at ``max(member clocks) + group latency``.
+
+``max`` folds are order-independent in IEEE arithmetic and durations
+are *calibrated* at lowering time (nudged by ULPs so that
+``start + duration`` reproduces the captured completion bitwise), so
+the evaluated times equal the coroutine engine's **bit for bit** — the
+equivalence the bench layer's result cache and the tests rely on.
+
+What stays on the coroutine path: anything that must *execute* rather
+than re-time a schedule — functional verification, the DPOR model
+checker (it explores non-FIFO interleavings), the shadow-memory
+sanitizer, and trace export.  Re-timing under a different machine
+model is also out: cache outcomes are access-order *and size*
+dependent, so a schedule captured on one (machine, p, size) cell is
+exact only for that cell.  :func:`CompiledSchedule.model_durations`
+offers an explicitly model-level (not engine-exact) re-timing hook
+built on :func:`repro.models.timing.static_op_time`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.spec import socket_of_rank_meta
+
+#: schema tag for serialized compiled schedules
+COMPILED_SCHEMA = "repro-compiled/1"
+
+#: op-kind encoding of the flat schedule (int8 column)
+KIND_CODES: Dict[str, int] = {
+    "copy": 0,
+    "reduce_acc": 1,
+    "reduce_out": 2,
+    "touch": 3,
+    "compute": 4,
+    "post": 5,
+    "wait": 6,
+    "barrier": 7,
+}
+KIND_NAMES = {v: k for k, v in KIND_CODES.items()}
+
+
+class CompileError(ValueError):
+    """The IR cannot be lowered (pending syncs, cycles, unknown ops)."""
+
+
+@dataclass
+class CompiledTimes:
+    """One evaluation's output: per-op completion and per-rank finish."""
+
+    completion: np.ndarray  # float64 [nodes]
+    rank_times: List[float]  # per-rank finish clock, engine `times` form
+
+    @property
+    def time(self) -> float:
+        """Collective completion time: the slowest rank."""
+        return max(self.rank_times) if self.rank_times else 0.0
+
+
+@dataclass
+class _Level:
+    """One wavefront of the evaluation plan (nodes of equal DAG depth).
+
+    ``solo`` are the level's predecessor-free nodes (start directly
+    from the base clock); the remaining arrays drive one
+    ``np.maximum.reduceat`` gather over the concatenated predecessor
+    lists of the level's other nodes.
+    """
+
+    solo: np.ndarray  # int64 [a] node ids without predecessors
+    nodes: np.ndarray  # int64 [b] node ids with predecessors
+    gather: np.ndarray  # int64 [m] concatenated predecessor node ids
+    gather_lat: np.ndarray  # float64 [m] per-edge latency
+    seg: np.ndarray  # int64 [b] segment starts into gather
+
+
+@dataclass
+class CompiledSchedule:
+    """A lowered schedule: flat numpy arrays plus the evaluation plan.
+
+    Instances come from :func:`lower` (fresh capture) or
+    :func:`schedule_from_doc` (cache hit); ``meta`` carries the capture
+    context (collective, algorithm, machine meta, reference times,
+    per-rank traffic) the bench layer re-emits with replayed results.
+    """
+
+    meta: dict
+    nranks: int
+    kind: np.ndarray  # int8 [n]
+    rank: np.ndarray  # int32 [n]; -1 for barrier join nodes
+    nbytes: np.ndarray  # int64 [n]
+    nt: np.ndarray  # bool [n]
+    dur: np.ndarray  # float64 [n], calibrated
+    t_end_ref: np.ndarray  # float64 [n], captured completion times
+    indptr: np.ndarray  # int64 [n+1]: CSR over incoming edges
+    pred: np.ndarray  # int64 [m]
+    pred_lat: np.ndarray  # float64 [m]
+    #: last node of each rank's program-order chain (-1: rank idle)
+    last_of_rank: np.ndarray  # int64 [nranks]
+    #: member lists of barrier join nodes, for start-time broadcast
+    groups: Dict[int, Sequence[int]] = field(default_factory=dict)
+    _plan: Optional[List[_Level]] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    # ---- evaluation plan ---------------------------------------------
+
+    def _levels(self) -> List[_Level]:
+        """Partition nodes into wavefronts of equal dependency depth and
+        pre-gather each wavefront's predecessor segments (built once;
+        every :meth:`evaluate` call reuses it)."""
+        if self._plan is not None:
+            return self._plan
+        n = len(self)
+        depth = np.zeros(n, dtype=np.int64)
+        indptr, pred = self.indptr, self.pred
+        for v in range(n):  # nodes are stored in topological order
+            lo, hi = indptr[v], indptr[v + 1]
+            if hi > lo:
+                depth[v] = depth[pred[lo:hi]].max() + 1
+        plan: List[_Level] = []
+        order = np.argsort(depth, kind="stable")
+        bounds = np.searchsorted(depth[order], np.arange(depth.max() + 2))
+        for d in range(len(bounds) - 1):
+            nodes = order[bounds[d]:bounds[d + 1]]
+            if nodes.size == 0:
+                continue
+            counts = indptr[nodes + 1] - indptr[nodes]
+            solo = nodes[counts == 0]
+            rest = nodes[counts > 0]
+            if rest.size:
+                segs = [pred[indptr[v]:indptr[v + 1]] for v in rest]
+                lats = [self.pred_lat[indptr[v]:indptr[v + 1]]
+                        for v in rest]
+                gather = np.concatenate(segs)
+                gather_lat = np.concatenate(lats)
+                seg = np.zeros(rest.size, dtype=np.int64)
+                np.cumsum([s.size for s in segs[:-1]], out=seg[1:])
+            else:
+                gather = np.empty(0, dtype=np.int64)
+                gather_lat = np.empty(0, dtype=np.float64)
+                seg = np.empty(0, dtype=np.int64)
+            plan.append(_Level(solo=solo, nodes=rest, gather=gather,
+                               gather_lat=gather_lat, seg=seg))
+        self._plan = plan
+        return plan
+
+    def _base(self, start_times: Optional[Sequence[float]]) -> np.ndarray:
+        """Per-node start floor: each rank's initial clock (zero by
+        default), broadcast to barrier joins as the max over members."""
+        n = len(self)
+        if start_times is None:
+            return np.zeros(n, dtype=np.float64)
+        st = np.asarray(start_times, dtype=np.float64)
+        if st.shape != (self.nranks,):
+            raise ValueError(
+                f"start_times must have one entry per rank "
+                f"({self.nranks}), got shape {st.shape}"
+            )
+        base = np.zeros(n, dtype=np.float64)
+        owned = self.rank >= 0
+        base[owned] = st[self.rank[owned]]
+        for v, group in self.groups.items():
+            base[v] = st[list(group)].max() if len(group) else 0.0
+        return base
+
+    # ---- evaluation --------------------------------------------------
+
+    def evaluate(self, *, start_times: Optional[Sequence[float]] = None,
+                 dur: Optional[np.ndarray] = None) -> CompiledTimes:
+        """Vectorized completion-time evaluation.
+
+        With default arguments this reproduces the capture run's times
+        bitwise.  ``start_times`` skews each rank's initial clock (the
+        perturbation hook ROADMAP item 5 builds on); ``dur`` swaps in
+        alternative per-op durations (see :meth:`model_durations`).
+        """
+        durv = self.dur if dur is None else np.asarray(dur, np.float64)
+        if durv.shape != self.dur.shape:
+            raise ValueError("dur must match the schedule's node count")
+        base = self._base(start_times)
+        comp = np.zeros(len(self), dtype=np.float64)
+        for level in self._levels():
+            if level.solo.size:
+                comp[level.solo] = base[level.solo] + durv[level.solo]
+            if level.nodes.size:
+                vals = comp[level.gather] + level.gather_lat
+                arrive = np.maximum.reduceat(vals, level.seg)
+                comp[level.nodes] = (
+                    np.maximum(base[level.nodes], arrive)
+                    + durv[level.nodes]
+                )
+        rank_times = []
+        for r in range(self.nranks):
+            v = self.last_of_rank[r]
+            if v < 0:
+                rank_times.append(0.0 if start_times is None
+                                  else float(start_times[r]))
+            else:
+                rank_times.append(float(comp[v]))
+        return CompiledTimes(completion=comp, rank_times=rank_times)
+
+    # ---- model-driven re-timing --------------------------------------
+
+    def model_durations(self, machine) -> np.ndarray:
+        """Alternative per-op durations from the *static* timing model
+        (:func:`repro.models.timing.static_op_time`), vectorized.
+
+        This is a model-level estimate — cache-resident bandwidth plus
+        per-op overhead — not the stateful memory-system charge, so
+        evaluating with it gives the same optimistic bound the static
+        critical-path pass computes, not engine-exact times.  Useful
+        for what-if sweeps over machine constants without recapturing.
+        """
+        dur = np.zeros(len(self), dtype=np.float64)
+        data = self.kind <= KIND_CODES["compute"]
+        touched = np.zeros(len(self), dtype=np.float64)
+        touched[self.kind == KIND_CODES["copy"]] = 2.0
+        touched[(self.kind == KIND_CODES["reduce_acc"])
+                | (self.kind == KIND_CODES["reduce_out"])] = 3.0
+        touched[self.kind == KIND_CODES["touch"]] = 1.0
+        touched *= self.nbytes
+        moved = data & (touched > 0)
+        dur[moved] = (touched[moved] / machine.cache_bandwidth_core
+                      + machine.op_overhead)
+        compute = self.kind == KIND_CODES["compute"]
+        dur[compute] = self.dur[compute]  # program-declared durations
+        barrier = self.kind == KIND_CODES["barrier"]
+        dur[barrier] = self.dur[barrier]  # captured tree latency
+        return dur
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _calibrate(arrive: float, t_end: float) -> float:
+    """The duration ``d`` with ``arrive + d == t_end`` *bitwise*.
+
+    ``t_end - arrive`` is usually it, but IEEE does not guarantee
+    ``a + (b - a) == b``; the engine computed ``t_end`` as ``arrive``
+    plus some representable increment, so a short ULP walk always
+    lands on it exactly.
+    """
+    d = t_end - arrive
+    while arrive + d > t_end:
+        d = math.nextafter(d, -math.inf)
+    while arrive + d < t_end:
+        d = math.nextafter(d, math.inf)
+    return d
+
+
+def lower(ir) -> CompiledSchedule:
+    """Lower a ``repro-ir/1`` :class:`~repro.analysis.static.ir.ScheduleIR`
+    to a :class:`CompiledSchedule`.
+
+    The IR must come from a *completed* run (pending sync nodes — a
+    deadlocked capture — refuse to lower) and carry the machine meta
+    projection if the capture had a machine model: the post→wait pair
+    latencies on sync edges are recomputed from the socket topology
+    exactly as the engine charges them.
+    """
+    nodes = ir.nodes
+    if not nodes:
+        raise CompileError("cannot lower an empty schedule IR")
+    for n in nodes:
+        if n.pending:
+            raise CompileError(
+                f"schedule deadlocked at capture: {n.describe()} never "
+                "released; compiled replay requires a completed run"
+            )
+        if n.kind not in KIND_CODES:
+            raise CompileError(f"unknown op kind {n.kind!r} in IR")
+    topo = ir.toposort()
+    machine = ir.meta.get("machine") or {}
+    intra = float(machine.get("sync_latency_intra", 0.0))
+    inter = float(machine.get("sync_latency_inter", 0.0))
+    sockets = int(machine.get("sockets", 1))
+    cps = int(machine.get("cores_per_socket", 1))
+    binding = str(machine.get("binding", "compact"))
+    nranks = ir.nranks or (max(n.rank for n in nodes) + 1)
+
+    def sock(rank: int) -> int:
+        return socket_of_rank_meta(rank, nranks, sockets=sockets,
+                                   cores_per_socket=cps, binding=binding)
+
+    # renumber into topological positions so the stored arrays are a
+    # valid execution order by construction
+    pos = {v: i for i, v in enumerate(topo)}
+    n = len(nodes)
+    kind = np.zeros(n, dtype=np.int8)
+    rank = np.zeros(n, dtype=np.int32)
+    nbytes = np.zeros(n, dtype=np.int64)
+    nt = np.zeros(n, dtype=bool)
+    t_start = np.zeros(n, dtype=np.float64)
+    t_end = np.zeros(n, dtype=np.float64)
+    groups: Dict[int, Sequence[int]] = {}
+    for v, node in enumerate(nodes):
+        i = pos[v]
+        kind[i] = KIND_CODES[node.kind]
+        rank[i] = node.rank
+        nbytes[i] = node.nbytes
+        nt[i] = bool(node.nt)
+        t_start[i] = node.t_start
+        t_end[i] = node.t_end
+        if node.kind == "barrier":
+            groups[i] = tuple(node.group)
+
+    preds_of: List[List[int]] = [[] for _ in range(n)]
+    lat_of: List[List[float]] = [[] for _ in range(n)]
+    for e in ir.edges:
+        src, dst = pos[e.src], pos[e.dst]
+        if e.kind == "sync":
+            r1, r2 = nodes[e.src].rank, nodes[e.dst].rank
+            lat = (intra if r1 < 0 or r2 < 0 or sock(r1) == sock(r2)
+                   else inter)
+        else:
+            lat = 0.0
+        preds_of[dst].append(src)
+        lat_of[dst].append(lat)
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in preds_of], out=indptr[1:])
+    pred = np.fromiter((p for ps in preds_of for p in ps),
+                       dtype=np.int64, count=int(indptr[-1]))
+    pred_lat = np.fromiter((la for ls in lat_of for la in ls),
+                           dtype=np.float64, count=int(indptr[-1]))
+
+    # calibrate durations against the captured completion times, in
+    # topological order (each node's arrival only reads already-exact
+    # predecessor completions)
+    dur = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        arrive = 0.0
+        for j in range(lo, hi):
+            a = t_end[pred[j]] + pred_lat[j]
+            if a > arrive:
+                arrive = a
+        dur[i] = _calibrate(arrive, float(t_end[i]))
+
+    last_of_rank = np.full(nranks, -1, dtype=np.int64)
+    for i in range(n):
+        r = int(rank[i])
+        if r >= 0:
+            last_of_rank[r] = i
+        else:
+            for member in groups.get(i, ()):
+                last_of_rank[member] = i
+
+    meta = dict(ir.meta)
+    meta.pop("counters", None)  # capture-run counters are re-derived
+    return CompiledSchedule(
+        meta=meta, nranks=nranks, kind=kind, rank=rank, nbytes=nbytes,
+        nt=nt, dur=dur, t_end_ref=t_end, indptr=indptr, pred=pred,
+        pred_lat=pred_lat, last_of_rank=last_of_rank, groups=groups,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialization (JSON-safe, for the content-addressed schedule cache)
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_doc(cs: CompiledSchedule) -> dict:
+    """JSON-safe document form (schema ``repro-compiled/1``)."""
+    return {
+        "schema": COMPILED_SCHEMA,
+        "meta": cs.meta,
+        "nranks": cs.nranks,
+        "kind": cs.kind.tolist(),
+        "rank": cs.rank.tolist(),
+        "nbytes": cs.nbytes.tolist(),
+        "nt": cs.nt.astype(int).tolist(),
+        "dur": cs.dur.tolist(),
+        "t_end": cs.t_end_ref.tolist(),
+        "indptr": cs.indptr.tolist(),
+        "pred": cs.pred.tolist(),
+        "pred_lat": cs.pred_lat.tolist(),
+        "last_of_rank": cs.last_of_rank.tolist(),
+        "groups": {str(k): list(v) for k, v in cs.groups.items()},
+    }
+
+
+def schedule_from_doc(doc: dict) -> CompiledSchedule:
+    """Parse a document produced by :func:`schedule_to_doc`.
+
+    Floats round-trip exactly through JSON (``repr`` shortest-float
+    serialization), so a cache-loaded schedule evaluates bitwise
+    identically to the freshly lowered one.
+    """
+    schema = doc.get("schema")
+    if schema != COMPILED_SCHEMA:
+        raise ValueError(
+            f"unsupported compiled-schedule schema {schema!r}; "
+            f"supported: {COMPILED_SCHEMA}"
+        )
+    return CompiledSchedule(
+        meta=dict(doc.get("meta", {})),
+        nranks=int(doc["nranks"]),
+        kind=np.asarray(doc["kind"], dtype=np.int8),
+        rank=np.asarray(doc["rank"], dtype=np.int32),
+        nbytes=np.asarray(doc["nbytes"], dtype=np.int64),
+        nt=np.asarray(doc["nt"], dtype=bool),
+        dur=np.asarray(doc["dur"], dtype=np.float64),
+        t_end_ref=np.asarray(doc["t_end"], dtype=np.float64),
+        indptr=np.asarray(doc["indptr"], dtype=np.int64),
+        pred=np.asarray(doc["pred"], dtype=np.int64),
+        pred_lat=np.asarray(doc["pred_lat"], dtype=np.float64),
+        last_of_rank=np.asarray(doc["last_of_rank"], dtype=np.int64),
+        groups={int(k): tuple(v)
+                for k, v in doc.get("groups", {}).items()},
+    )

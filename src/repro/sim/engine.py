@@ -453,6 +453,11 @@ class Engine:
         self.scheduler: SchedulerPolicy = scheduler or FifoScheduler()
         self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize else None
         self.buffers: list = []
+        #: the most recent :meth:`run`'s result — lets consumers that
+        #: only see a derived value (e.g. a bench cell runner's
+        #: ``CellResult``) recover the final run's trace slice, as the
+        #: compiled-schedule capture does
+        self.last_result: Optional[RunResult] = None
         self._posts: dict = {}
         self._barrier_seq: dict = {}
         self._barrier_arrivals: dict = {}
@@ -614,7 +619,7 @@ class Engine:
         times = [0.0] * self.nranks
         for r in ranks:
             times[r] = ctxs[r].clock
-        return RunResult(
+        result = RunResult(
             times=[times[r] for r in ranks] if ranks != list(range(self.nranks))
             else times,
             traffic=self.memsys.counters if self.memsys else None,
@@ -624,6 +629,8 @@ class Engine:
             first_record=first_record,
             first_span=first_span,
         )
+        self.last_result = result
+        return result
 
     def _run_cooperative(self, policy: SchedulerPolicy, ctxs, gens, done
                          ) -> None:

@@ -26,7 +26,7 @@ A trace carries three parallel streams:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Optional
 
 
@@ -184,6 +184,33 @@ class Trace:
 
     def __iter__(self) -> Iterator[OpRecord]:
         return iter(self.records)
+
+    def slice_last_run(self, first_record: int = 0,
+                       first_span: int = 0) -> "Trace":
+        """A standalone single-run view of this (cumulative) trace.
+
+        ``first_record`` / ``first_span`` must be the *final* run's
+        offsets (:attr:`~repro.sim.engine.RunResult.first_record` /
+        ``first_span`` of the engine's most recent run): events are cut
+        at the last ``run_start`` separator, so slicing any earlier run
+        would mismatch records and events.  ``AccessEvent.op_index``
+        values (absolute indices into the cumulative record list) are
+        rebased to the sliced list, which makes the result a valid
+        input for :func:`repro.analysis.static.extract.ir_from_trace`.
+        """
+        out = Trace()
+        out.records = self.records[first_record:]
+        out.spans = self.spans[first_span:]
+        start = 0
+        for i, ev in enumerate(self.events):
+            if isinstance(ev, SyncEvent) and ev.kind == "run_start":
+                start = i + 1
+        for ev in self.events[start:]:
+            if isinstance(ev, AccessEvent) and ev.op_index >= 0:
+                ev = replace(ev, op_index=ev.op_index - first_record)
+            out.events.append(ev)
+        out._seq = self._seq
+        return out
 
     def by_rank(self, rank: int) -> list[OpRecord]:
         return [r for r in self.records if r.rank == rank]

@@ -199,6 +199,55 @@ class TestLocalityEscalation:
             fractions["socket_aware/allreduce"] <= NUMA_CROSS_THRESHOLD
 
 
+class TestCriticalPathSocketTopology:
+    """The critical-path pass prices sync edges and barrier trees from
+    the machine meta's *actual* socket topology (regression: pairs were
+    all priced intra-socket and the inter latency never read)."""
+
+    INTRA, INTER = 1e-6, 7e-6
+
+    #: 2 sockets x 2 cores, 4 compact-bound ranks: 0/1 on socket 0,
+    #: 2/3 on socket 1
+    MACHINE = {
+        "cache_bandwidth_core": 35e9,
+        "op_overhead": 0.0,
+        "sync_latency_intra": INTRA,
+        "sync_latency_inter": INTER,
+        "sockets": 2,
+        "cores_per_socket": 2,
+        "binding": "compact",
+    }
+
+    def _bound(self, ir):
+        from repro.analysis.static.passes import CriticalPathPass
+
+        (finding,) = CriticalPathPass().run(ir)
+        return finding.data["bound"]
+
+    def _pair_ir(self, waiter):
+        ir = ScheduleIR(meta={"nranks": 4, "machine": self.MACHINE})
+        ir.add_node(OpNode(node=0, rank=0, kind="post", tag="f"))
+        ir.add_node(OpNode(node=1, rank=waiter, kind="wait", tag="f",
+                           count=1))
+        ir.add_edge(0, 1, "sync")
+        return ir
+
+    def test_cross_socket_pair_pays_inter_latency(self):
+        assert self._bound(self._pair_ir(waiter=3)) == self.INTER
+        assert self._bound(self._pair_ir(waiter=1)) == self.INTRA
+
+    def test_cross_socket_barrier_pays_inter_tree(self):
+        def barrier_ir(group):
+            ir = ScheduleIR(meta={"nranks": 4, "machine": self.MACHINE})
+            ir.add_node(OpNode(node=0, rank=-1, kind="barrier",
+                               group=group))
+            return ir
+
+        # one round over two members: 2 * 1 * latency
+        assert self._bound(barrier_ir((0, 3))) == 2 * self.INTER
+        assert self._bound(barrier_ir((0, 1))) == 2 * self.INTRA
+
+
 class TestCyclicIR:
     def test_cycle_reported_and_pipeline_survives(self):
         nodes = [

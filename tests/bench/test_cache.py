@@ -8,6 +8,8 @@ from repro.bench.cache import (
     ResultCache,
     descriptor_key,
     iter_source_files,
+    package_root,
+    reset_source_version,
     source_version,
 )
 from repro.bench.executor import run_sweep_table
@@ -45,6 +47,54 @@ class TestSourceVersion:
         assert files, "repro package sources not found"
         assert all("__pycache__" not in p.parts for p in files)
         assert all(p.suffix == ".py" for p in files)
+
+    def test_hash_anchored_at_package_root(self, tmp_path, monkeypatch):
+        # regression: the hash once anchored relative paths at the
+        # *parent of the first-sorting file* — adding a subpackage that
+        # sorts before __init__.py shifted every relative path and
+        # changed the hash of otherwise-untouched files.  Paths must be
+        # relative to the package root, no matter what sorts first.
+        import hashlib
+
+        pkg = tmp_path / "repro"
+        (pkg / "zzz").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("# init\n")
+        (pkg / "zzz" / "mod.py").write_text("# leaf\n")
+        monkeypatch.setattr("repro.bench.cache.package_root", lambda: pkg)
+        reset_source_version()
+        try:
+            expected = hashlib.sha256()
+            for rel in ["__init__.py", "zzz/mod.py"]:
+                expected.update(rel.encode() + b"\0")
+                expected.update((pkg / rel).read_bytes() + b"\0")
+            assert source_version() == expected.hexdigest()
+            # a subpackage sorting before __init__.py must not shift
+            # the relative paths of existing files
+            (pkg / "aaa").mkdir()
+            (pkg / "aaa" / "early.py").write_text("# early\n")
+            reset_source_version()
+            changed = hashlib.sha256()
+            for rel in ["__init__.py", "aaa/early.py", "zzz/mod.py"]:
+                changed.update(rel.encode() + b"\0")
+                changed.update((pkg / rel).read_bytes() + b"\0")
+            assert source_version() == changed.hexdigest()
+        finally:
+            reset_source_version()
+
+    def test_reset_drops_the_memo(self, monkeypatch):
+        real = source_version()
+        monkeypatch.setattr("repro.bench.cache._SOURCE_VERSION", "f" * 64)
+        assert source_version() == "f" * 64
+        reset_source_version()
+        try:
+            assert source_version() == real
+        finally:
+            reset_source_version()
+
+    def test_package_root_is_the_repro_package(self):
+        root = package_root()
+        assert root.name == "repro"
+        assert (root / "__init__.py").exists()
 
 
 class TestResultCache:

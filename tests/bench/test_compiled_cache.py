@@ -1,0 +1,133 @@
+"""Compiled-schedule cache: keying discipline, hit/miss flow through
+``exec_compiled_cell``, corrupt-entry recovery, and the executor-level
+equivalence of compiled sweeps."""
+
+import json
+
+import pytest
+
+from repro.bench.cache import descriptor_key
+from repro.bench.compiled import (
+    CompiledScheduleCache,
+    capture_schedule,
+    exec_compiled_cell,
+    schedule_descriptor,
+)
+from repro.bench.executor import cell_descriptor, run_sweep_table
+from repro.bench.spec import reduce_spec
+
+
+def _cell(**over):
+    cell = {
+        "machine": "NodeA",
+        "p": 4,
+        "nbytes": 65536,
+        "runner": reduce_spec("socket-ma", "allreduce",
+                              "adaptive").describe(),
+    }
+    cell.update(over)
+    return cell
+
+
+def _payload(results_dir=None, **over):
+    payload = dict(_cell(**over), type="cell", compiled=True)
+    if results_dir is not None:
+        payload["results_dir"] = str(results_dir)
+    return payload
+
+
+class TestScheduleDescriptor:
+    def test_schema_tag(self):
+        assert schedule_descriptor(_cell())["schema"] == "repro-compiled/1"
+
+    @pytest.mark.parametrize("over", [
+        {"p": 8},
+        {"nbytes": 4096},
+        {"machine": "NodeB"},
+        {"runner": reduce_spec("ring", "allreduce").describe()},
+    ])
+    def test_geometry_changes_the_key(self, over):
+        base = descriptor_key(schedule_descriptor(_cell()))
+        assert descriptor_key(schedule_descriptor(_cell(**over))) != base
+
+    def test_source_version_changes_the_key(self, monkeypatch):
+        base = descriptor_key(schedule_descriptor(_cell()))
+        monkeypatch.setattr("repro.bench.compiled.source_version",
+                            lambda: "0" * 64)
+        assert descriptor_key(schedule_descriptor(_cell())) != base
+
+    def test_distinct_from_result_cache_key(self):
+        # schedules and results must never collide in a shared store
+        cell = _cell()
+        assert descriptor_key(schedule_descriptor(cell)) != \
+            descriptor_key(cell_descriptor(cell, compiled=True))
+
+    def test_compiled_results_key_separately_from_coroutine(self):
+        cell = _cell()
+        assert descriptor_key(cell_descriptor(cell)) != \
+            descriptor_key(cell_descriptor(cell, compiled=True))
+
+
+class TestExecCompiledCell:
+    def test_capture_once_then_replay_from_cache(self, tmp_path,
+                                                 monkeypatch):
+        captures = []
+        real = capture_schedule
+
+        def counting(*a, **kw):
+            captures.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr("repro.bench.compiled.capture_schedule",
+                            counting)
+        first = exec_compiled_cell(_payload(tmp_path))
+        assert len(captures) == 1
+        second = exec_compiled_cell(_payload(tmp_path))
+        assert len(captures) == 1, "second call must be pure replay"
+        assert second == first
+
+    def test_no_results_dir_still_works(self):
+        out = exec_compiled_cell(_payload())
+        assert out["time"] > 0 and out["counters"] is not None
+
+    def test_corrupt_entry_recaptured(self, tmp_path):
+        exec_compiled_cell(_payload(tmp_path))
+        key = descriptor_key(schedule_descriptor(_cell()))
+        path = tmp_path / "compiled" / key[:2] / f"{key}.json"
+        assert path.exists()
+        entry = json.loads(path.read_text())
+        entry["result"]["schema"] = "repro-compiled/0"  # stale schema
+        path.write_text(json.dumps(entry))
+        out = exec_compiled_cell(_payload(tmp_path))
+        assert out["time"] > 0
+        # the recapture repaired the entry on disk
+        repaired = json.loads(path.read_text())
+        assert repaired["result"]["schema"] == "repro-compiled/1"
+
+    def test_matches_coroutine_cell(self, tmp_path):
+        from repro.bench.executor import exec_payload
+
+        ref = exec_payload(dict(_cell(), type="cell"))
+        out = exec_compiled_cell(_payload(tmp_path))
+        assert out == ref
+
+
+class TestCompiledSweep:
+    def test_table_identical_to_coroutine(self, tmp_path, tiny_sweep):
+        ref = run_sweep_table(tiny_sweep)
+        out = run_sweep_table(tiny_sweep, compiled=True,
+                              results_dir=tmp_path)
+        assert out.to_json() == ref.to_json()
+
+    def test_schedules_persist_without_result_cache(self, tmp_path,
+                                                    tiny_sweep):
+        # --no-cache disables the *result* cache only: schedules still
+        # persist, which is what makes re-simulation pure replay
+        run_sweep_table(tiny_sweep, cache=None, compiled=True,
+                        results_dir=tmp_path)
+        stored = list((tmp_path / "compiled").rglob("*.json"))
+        assert len(stored) == 4  # one schedule per sweep cell
+
+    def test_schedule_cache_stats(self, tmp_path):
+        cache = CompiledScheduleCache(tmp_path / "compiled")
+        assert cache.stats() == "0/0 schedules from cache"
