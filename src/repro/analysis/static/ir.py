@@ -187,12 +187,17 @@ class ScheduleIR:
 
     def add_node(self, node: OpNode) -> int:
         self.nodes.append(node)
-        self._invalidate()
+        # bulk construction (the trace extractor adds tens of
+        # thousands of nodes) never materializes the caches, so only
+        # invalidate when something was actually derived
+        if self._succs is not None or self._topo is not None:
+            self._invalidate()
         return node.node
 
     def add_edge(self, src: int, dst: int, kind: str = "po") -> None:
         self.edges.append(Edge(src, dst, kind))
-        self._invalidate()
+        if self._succs is not None or self._topo is not None:
+            self._invalidate()
 
     def succs(self) -> List[List[int]]:
         if self._succs is None:

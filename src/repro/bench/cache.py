@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Optional
 
@@ -112,9 +114,21 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"key": key, "descriptor": descriptor, "result": result}
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
-        tmp.replace(path)  # atomic: concurrent writers race benignly
+        # Unique temp file per writer + atomic rename: concurrent
+        # workers (or whole concurrent suites) writing the same key can
+        # never interleave partial content — last rename wins whole.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @property
     def lookups(self) -> int:

@@ -45,6 +45,33 @@ def add_bench_parser(sub) -> None:
              "are captured once and persist under results/compiled/",
     )
     bench.add_argument(
+        "--poly", action="store_true",
+        help="size-polymorphic compiled replay: one captured schedule "
+             "serves every size in a decision region (other sizes are "
+             "model-retimed); requires --compiled",
+    )
+    bench.add_argument(
+        "--perturb", type=int, default=0, metavar="N",
+        help="replay an N-sample noise ensemble per cell through the "
+             "batched evaluator and report p50/p99/p999 tail latency; "
+             "requires --compiled",
+    )
+    bench.add_argument(
+        "--perturb-model", default="mixed", metavar="MODEL",
+        help="perturbation model: os-noise, straggler, freq-skew, "
+             "arrival or mixed (default)",
+    )
+    bench.add_argument(
+        "--perturb-seed", type=int, default=2023, metavar="SEED",
+        help="base seed for perturbation ensembles (default 2023)",
+    )
+    bench.add_argument(
+        "--microbench", action="store_true",
+        help="also run the capture-cost/batched-replay microbenchmark "
+             "(writes BENCH_compiled.json); implied by "
+             "'--compiled all'",
+    )
+    bench.add_argument(
         "--quick", action="store_true",
         help="smoke-run size grids (same as REPRO_QUICK=1)",
     )
@@ -61,6 +88,15 @@ def run_bench_command(args) -> int:
     )
     from repro.bench.executor import run_suite
     from repro.bench.jsonio import canonical_dumps
+
+    if (args.poly or args.perturb) and not args.compiled:
+        which = "--poly" if args.poly else "--perturb"
+        print(f"error: {which} requires --compiled (it operates on "
+              "captured schedules)", file=sys.stderr)
+        return 2
+    if args.perturb < 0:
+        print("error: --perturb must be >= 0", file=sys.stderr)
+        return 2
 
     bench_dir = benchmarks_dir()
     available = load_benchmarks(bench_dir)
@@ -84,6 +120,10 @@ def run_bench_command(args) -> int:
                 return 2
             selected[name] = available[name]
 
+    perturb = None
+    if args.perturb:
+        perturb = {"n": args.perturb, "model": args.perturb_model,
+                   "seed": args.perturb_seed}
     progress = None if args.json else lambda msg: print(msg)
     t0 = time.time()
     summary, docs, cache = run_suite(
@@ -92,6 +132,8 @@ def run_bench_command(args) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         compiled=args.compiled,
+        poly=args.poly,
+        perturb=perturb,
         progress=progress,
     )
     elapsed = time.time() - t0
@@ -99,9 +141,17 @@ def run_bench_command(args) -> int:
         print(canonical_dumps(summary), end="")
     results_dir = default_results_dir()
     mode = "compiled" if args.compiled else "coroutine"
+    micro = None
+    if args.microbench or (args.compiled and args.name == "all"):
+        from repro.bench.compiled import run_capture_microbench
+
+        micro = run_capture_microbench(
+            results_dir,
+            progress=None if args.json else progress)
     if args.name == "all":
         block = _record_wall_clock(results_dir, mode, elapsed,
-                                   summary.get("source_version", ""))
+                                   summary.get("source_version", ""),
+                                   microbench=micro)
         if block and "speedup" in block:
             print(
                 f"[bench] wall clock: coroutine {block['coroutine']}s, "
@@ -109,6 +159,18 @@ def run_bench_command(args) -> int:
                 f"{block['speedup']}x speedup",
                 file=sys.stderr,
             )
+    elif micro is not None:
+        _record_wall_clock(results_dir, mode, elapsed,
+                           summary.get("source_version", ""),
+                           microbench=micro, record_elapsed=False)
+    if micro is not None:
+        print(
+            f"[bench] microbench: capture {micro['capture_overhead']:.2f}x "
+            f"coroutine; batched B={micro['batch']['n']} "
+            f"{micro['batch']['speedup_vs_loop']:.1f}x vs loop "
+            f"(bitwise_equal={micro['bitwise_equal']})",
+            file=sys.stderr,
+        )
     print(
         f"[bench] {len(selected)} benchmark(s) ({mode}) in {elapsed:.1f}s; "
         f"{cache.stats()}; JSON under {results_dir}/BENCH_*.json",
@@ -118,7 +180,8 @@ def run_bench_command(args) -> int:
 
 
 def _record_wall_clock(results_dir, mode: str, elapsed: float,
-                       source: str):
+                       source: str, *, microbench=None,
+                       record_elapsed: bool = True):
     """Append the advisory ``wall_clock`` block to the summary on disk.
 
     Entries for both engine modes accumulate across runs of one source
@@ -126,8 +189,10 @@ def _record_wall_clock(results_dir, mode: str, elapsed: float,
     source change discards stale timings.  Because ``run_suite``
     rewrites ``BENCH_summary.json`` from scratch on every run, the
     block persists in a ``wall_clock.json`` sidecar and is merged back
-    into the summary here.  This block is the one documented exception
-    to the summary's determinism guarantee — see
+    into the summary here.  The capture microbenchmark's headline
+    numbers ride along under ``microbench`` (the full document lives
+    in ``BENCH_compiled.json``).  This block is the documented
+    exception to the summary's determinism guarantee — see
     :mod:`repro.bench.jsonio`.
     """
     import json
@@ -141,9 +206,18 @@ def _record_wall_clock(results_dir, mode: str, elapsed: float,
         block = {}
     if not isinstance(block, dict) or block.get("source") != source:
         block = {"source": source}
-    block[mode] = round(elapsed, 3)
+    if record_elapsed:
+        block[mode] = round(elapsed, 3)
     if block.get("coroutine") and block.get("compiled"):
         block["speedup"] = round(block["coroutine"] / block["compiled"], 2)
+    if microbench is not None:
+        block["microbench"] = {
+            "capture_overhead": round(microbench["capture_overhead"], 3),
+            "capture_s": round(microbench["capture_s"], 4),
+            "batch_speedup_vs_loop": round(
+                microbench["batch"]["speedup_vs_loop"], 2),
+            "bitwise_equal": microbench["bitwise_equal"],
+        }
     sidecar.write_text(canonical_dumps(block))
     path = results_dir / "BENCH_summary.json"
     try:

@@ -3,9 +3,10 @@
 A sweep cell normally executes the coroutine engine twice (warm-up +
 measured iteration).  The compiled path instead:
 
-1. runs the cell **once** with tracing on (only on schedule-cache
-   miss), lifts the measured iteration into the ``repro-ir/1`` DAG and
-   lowers it (:func:`repro.sim.compiled.lower`);
+1. runs the cell **once** with light tracing on (only on schedule-cache
+   miss; AccessEvent emission off — the lowering consumes op records
+   and sync structure only), lifts the measured iteration into the
+   ``repro-ir/1`` DAG and lowers it (:func:`repro.sim.compiled.lower`);
 2. stores the lowered schedule in a content-addressed
    :class:`CompiledScheduleCache` under
    ``benchmarks/results/compiled/``, keyed with the same
@@ -18,15 +19,30 @@ Replayed results are bitwise-identical to the coroutine cell (same
 completion times, same ``repro-obs/1`` counter snapshot), which the
 equivalence tests pin across the full collective × p matrix.  Because
 cache outcomes in the memory system are access-order and size
-dependent, schedules are captured per ``(collective, p, size)`` cell —
-cross-size reuse would silently break exactness.
+dependent, exact schedules are captured per ``(collective, p, size)``
+cell — cross-size reuse would silently break exactness.
+
+**Size-polymorphic mode** (``poly=True`` payloads) relaxes that
+deliberately: schedules key per *decision region*
+(:func:`repro.models.nt_model.decision_guards` — every size-dependent
+adaptive decision, evaluated as data).  A cell whose guards match a
+cached capture replays it — exactly when the sizes coincide, via
+model-level re-timing (:meth:`CompiledSchedule.model_durations` with
+scaled footprints) otherwise.  A guard flip keys a different entry,
+which *is* the automatic recapture.  One capture serves every size in
+its region.
+
+An in-process memo front-ends the on-disk schedule cache so that
+perturbation ensembles and ``--no-cache`` re-simulations never
+deserialize (or recapture) the same schedule twice in one process.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.bench.cache import ResultCache, descriptor_key, source_version
 from repro.bench.runners import ITERATIONS
@@ -35,10 +51,16 @@ from repro.obs.counters import _TRAFFIC_FIELDS
 from repro.sim.compiled import (
     COMPILED_SCHEMA,
     CompiledSchedule,
+    ScheduleSchemaError,
     lower,
     schedule_from_doc,
     schedule_to_doc,
 )
+
+#: result-dict keys that are run artifacts (cache-state dependent), not
+#: part of the deterministic cell result; the executor strips them
+#: before persisting to the result cache.
+TRANSIENT_RESULT_KEYS = ("captured",)
 
 
 class CompiledScheduleCache(ResultCache):
@@ -54,13 +76,77 @@ class CompiledScheduleCache(ResultCache):
         return f"{self.hits}/{self.lookups} schedules from cache"
 
 
-def schedule_descriptor(cell: dict) -> dict:
+# ---------------------------------------------------------------------------
+# In-process schedule memo
+# ---------------------------------------------------------------------------
+
+#: (results_dir or "", schedule key) -> CompiledSchedule, LRU-capped.
+_SCHEDULE_MEMO: "OrderedDict[Tuple[str, str], CompiledSchedule]" = \
+    OrderedDict()
+_MEMO_CAP = 64
+
+
+def clear_schedule_memo() -> None:
+    """Drop the in-process schedule memo (test isolation hook)."""
+    _SCHEDULE_MEMO.clear()
+
+
+def _memo_get(memo_key: Tuple[str, str]) -> Optional[CompiledSchedule]:
+    cs = _SCHEDULE_MEMO.get(memo_key)
+    if cs is not None:
+        _SCHEDULE_MEMO.move_to_end(memo_key)
+    return cs
+
+
+def _memo_put(memo_key: Tuple[str, str], cs: CompiledSchedule) -> None:
+    _SCHEDULE_MEMO[memo_key] = cs
+    _SCHEDULE_MEMO.move_to_end(memo_key)
+    while len(_SCHEDULE_MEMO) > _MEMO_CAP:
+        _SCHEDULE_MEMO.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# Descriptors
+# ---------------------------------------------------------------------------
+
+
+def _cell_policy(runner: dict) -> str:
+    """The copy policy a cell's guards are evaluated under: the library
+    stack always runs the adaptive switch; algorithm cells pin it."""
+    if runner.get("family") == "yhccl":
+        return "adaptive"
+    return runner.get("policy", "memmove")
+
+
+def cell_guards(cell: dict) -> dict:
+    """Decision guards of one cell payload (see
+    :func:`repro.models.nt_model.decision_guards`)."""
+    from repro.bench.runners import resolve_imax
+    from repro.machine.spec import PRESETS
+    from repro.models.nt_model import decision_guards
+
+    machine = PRESETS[cell["machine"]]
+    runner = cell["runner"]
+    imax = resolve_imax(runner.get("imax"), machine)
+    return decision_guards(runner["kind"], cell["nbytes"], cell["p"],
+                           machine, imax=imax,
+                           policy=_cell_policy(runner))
+
+
+def schedule_descriptor(cell: dict, *, poly: bool = False,
+                        guards: Optional[dict] = None) -> dict:
     """The cache identity of a compiled schedule: full machine spec,
     runner spec, geometry and the repro source version — the result
-    cache's key discipline under the compiled schema tag."""
+    cache's key discipline under the compiled schema tag.
+
+    ``poly=True`` swaps the exact-size identity for the *decision
+    region* identity: ``nbytes`` is dropped and the cell's evaluated
+    guard dict keys the entry instead, so every size whose guards agree
+    maps to one schedule.
+    """
     from repro.machine.spec import PRESETS
 
-    return {
+    desc = {
         "schema": COMPILED_SCHEMA,
         "source": source_version(),
         "machine": dataclasses.asdict(PRESETS[cell["machine"]]),
@@ -69,6 +155,16 @@ def schedule_descriptor(cell: dict) -> dict:
         "iterations": ITERATIONS,
         "runner": cell["runner"],
     }
+    if poly:
+        del desc["nbytes"]
+        desc["poly"] = True
+        desc["guards"] = guards if guards is not None else cell_guards(cell)
+    return desc
+
+
+# ---------------------------------------------------------------------------
+# Capture / replay / re-time
+# ---------------------------------------------------------------------------
 
 
 def capture_schedule(spec: RunnerSpec, machine, p: int,
@@ -79,12 +175,18 @@ def capture_schedule(spec: RunnerSpec, machine, p: int,
     The traced run's clocks and traffic are identical to the untraced
     bench cell's (tracing only observes), so the captured reference
     times, DAV and per-rank traffic are exactly what the coroutine
-    path would report.
+    path would report.  Light tracing (``trace_accesses=False``) skips
+    the per-range AccessEvent stream — the lowering consumes op
+    records and sync structure only — which removes most of the
+    capture's tracing overhead.
     """
     from repro.analysis.static.extract import ir_from_trace, machine_meta
+    from repro.bench.runners import resolve_imax
     from repro.library.communicator import Communicator
+    from repro.models.nt_model import decision_guards
 
-    comm = Communicator(p, machine=machine, functional=False, trace=True)
+    comm = Communicator(p, machine=machine, functional=False, trace=True,
+                        trace_accesses=False)
     cell = spec.resolve()(comm, nbytes)
     res = comm.engine.last_result
     if res is None or res.trace is None:
@@ -106,6 +208,10 @@ def capture_schedule(spec: RunnerSpec, machine, p: int,
         {name: int(getattr(tc, name)) for name in _TRAFFIC_FIELDS}
         for tc in (res.per_rank_traffic or ())
     ]
+    cs.meta["guards"] = decision_guards(
+        spec.kind, nbytes, p, machine,
+        imax=resolve_imax(spec.imax, machine),
+        policy=_cell_policy(spec.describe()))
     return cs
 
 
@@ -125,36 +231,240 @@ def replay_cell(cs: CompiledSchedule) -> dict:
     }
 
 
-def exec_compiled_cell(payload: dict) -> dict:
-    """Worker entry for a ``compiled: True`` cell payload.
+def retime_durations(cs: CompiledSchedule, machine,
+                     nbytes: int) -> "Tuple[object, float]":
+    """Model-level per-op durations for replaying ``cs`` at a
+    different size in its decision region.  Returns ``(dur, factor)``
+    where ``factor = nbytes / captured_size`` scales every
+    byte-proportional quantity."""
+    import numpy as np
 
-    Looks the lowered schedule up in the persistent cache (when the
-    payload names a results directory), capturing and storing it on
-    miss, then replays it.  The schedule cache stays enabled even under
-    ``--no-cache`` — disabling the *result* cache is how a ≥10× faster
-    full re-simulation is produced, which only works if schedules
-    persist.
+    captured = int(cs.meta.get("s", 0))
+    if captured <= 0:
+        raise ValueError("schedule carries no captured size; cannot retime")
+    factor = nbytes / captured
+    scaled = np.rint(cs.nbytes * factor).astype(np.int64)
+    return cs.model_durations(machine, nbytes=scaled), factor
+
+
+def retime_cell(cs: CompiledSchedule, machine, nbytes: int) -> dict:
+    """Model-level re-timing of a captured schedule at a different
+    message size in the same decision region.
+
+    Per-op byte footprints are scaled by ``nbytes / captured_size``
+    (the guards guarantee the op *structure* is size-invariant inside
+    a region; only the bytes each op moves scale), durations come from
+    :meth:`CompiledSchedule.model_durations`, and the byte-proportional
+    aggregates (DAV, per-level traffic) scale by the same factor.
+    This is a model estimate, not the engine-exact stateful charge —
+    the result carries ``poly.retimed = True`` to say so.
     """
+    from repro.obs.counters import Counters
+
+    dur, factor = retime_durations(cs, machine, nbytes)
+    times = [float(t) for t in cs.evaluate(dur=dur).rank_times]
+    traffic = [
+        {name: int(round(tc[name] * factor)) for name in _TRAFFIC_FIELDS}
+        for tc in (cs.meta.get("traffic") or ())
+    ]
+    counters = Counters.from_machine(times, traffic or None)
+    return {
+        "time": max(times),
+        "dav": int(round(int(cs.meta.get("dav", 0)) * factor)),
+        "algorithm": cs.meta.get("algorithm", ""),
+        "counters": counters.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker entry
+# ---------------------------------------------------------------------------
+
+
+def _load_schedule(payload: dict, key: str) -> Tuple[CompiledSchedule, bool]:
+    """Memo → disk cache → capture.  Returns ``(schedule, captured)``
+    where ``captured`` says a fresh coroutine capture ran."""
     from repro.machine.spec import PRESETS
 
+    memo_key = (payload.get("results_dir") or "", key)
+    cs = _memo_get(memo_key)
+    if cs is not None:
+        return cs, False
     cache: Optional[CompiledScheduleCache] = None
     results_dir = payload.get("results_dir")
     if results_dir:
         cache = CompiledScheduleCache(Path(results_dir) / "compiled")
-    key = descriptor_key(schedule_descriptor(payload))
-    cs: Optional[CompiledSchedule] = None
-    if cache is not None:
         doc = cache.get(key)
         if doc is not None:
             try:
                 cs = schedule_from_doc(doc)
-            except (ValueError, KeyError, TypeError):
+            except (ScheduleSchemaError, ValueError, KeyError, TypeError):
                 cs = None  # corrupt/stale entry: recapture
-    if cs is None:
-        spec = RunnerSpec.from_dict(payload["runner"])
-        cs = capture_schedule(spec, PRESETS[payload["machine"]],
-                              payload["p"], payload["nbytes"])
-        if cache is not None:
-            cache.put(key, schedule_descriptor(payload),
-                      schedule_to_doc(cs))
-    return replay_cell(cs)
+            if cs is not None:
+                _memo_put(memo_key, cs)
+                return cs, False
+    spec = RunnerSpec.from_dict(payload["runner"])
+    cs = capture_schedule(spec, PRESETS[payload["machine"]],
+                          payload["p"], payload["nbytes"])
+    if cache is not None:
+        cache.put(key, schedule_descriptor(
+            payload, poly=bool(payload.get("poly")),
+            guards=payload.get("guards")), schedule_to_doc(cs))
+    _memo_put(memo_key, cs)
+    return cs, True
+
+
+def exec_compiled_cell(payload: dict) -> dict:
+    """Worker entry for a ``compiled: True`` cell payload.
+
+    Looks the lowered schedule up in the in-process memo, then the
+    persistent cache (when the payload names a results directory),
+    capturing and storing it on miss, then replays it.  The schedule
+    cache stays enabled even under ``--no-cache`` — disabling the
+    *result* cache is how a ≥10× faster full re-simulation is
+    produced, which only works if schedules persist; the memo covers
+    the cache-less case within one process.
+
+    ``poly: True`` payloads key the schedule by decision region and
+    re-time on size mismatch; a ``perturb`` block
+    (``{"n", "model", "seed"}``) replays a seeded noise ensemble
+    through the batched evaluator and attaches tail statistics.
+    """
+    from repro.machine.spec import PRESETS
+
+    poly = bool(payload.get("poly"))
+    guards = cell_guards(payload) if poly else None
+    if poly:
+        payload = dict(payload, guards=guards)
+    key = descriptor_key(
+        schedule_descriptor(payload, poly=poly, guards=guards))
+    cs, captured = _load_schedule(payload, key)
+    machine = PRESETS[payload["machine"]]
+    retimed = poly and int(cs.meta.get("s", -1)) != payload["nbytes"]
+    dur = None  # base durations the cell replays (None = captured)
+    if retimed:
+        dur, _ = retime_durations(cs, machine, payload["nbytes"])
+        result = retime_cell(cs, machine, payload["nbytes"])
+        result["poly"] = {"region": key[:12], "retimed": True}
+    else:
+        result = replay_cell(cs)
+        if poly:
+            result["poly"] = {"region": key[:12], "retimed": False}
+    pb = payload.get("perturb")
+    if pb:
+        import hashlib
+
+        from repro.sim.perturb import run_ensemble
+
+        # Derive the cell's ensemble seed from the schedule identity
+        # *and* the replayed size so every cell in a sweep perturbs a
+        # distinct but reproducible stream (two sizes sharing one
+        # poly region must not share a stream); the stats are then
+        # deterministic bench content.
+        cell_id = f"{key}:{payload['nbytes']}".encode()
+        seed = (int(pb.get("seed", 0))
+                ^ int(hashlib.sha256(cell_id).hexdigest()[:16], 16)) \
+            & 0x7FFFFFFFFFFFFFFF
+        stats = run_ensemble(cs, int(pb["n"]), seed=seed,
+                             model=pb.get("model", "mixed"), dur=dur)
+        result["perturb"] = stats.to_dict()
+    if captured:
+        result["captured"] = True  # transient: stripped before caching
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Capture-cost microbenchmark
+# ---------------------------------------------------------------------------
+
+MICROBENCH_SCHEMA = "repro-compiled-bench/1"
+
+
+def run_capture_microbench(results_dir: Optional[Path] = None, *,
+                           batch: int = 256, p: int = 8,
+                           nbytes: int = 1024 * 1024,
+                           progress=None) -> dict:
+    """Measure capture overhead and batched-replay throughput on one
+    representative cell (socket-MA adaptive allreduce).
+
+    Wall-clock numbers, so the document is **not** deterministic; it is
+    written to ``BENCH_compiled.json`` — a sidecar like
+    ``wall_clock.json``, exempt from the byte-stability rule — and
+    mirrored into ``BENCH_summary.json``'s ``wall_clock`` block by the
+    CLI.  ``bitwise_equal`` (batched replay ≡ a loop of single replays)
+    and ``ops`` are deterministic and double as a smoke check.
+    """
+    import json
+    from time import perf_counter
+
+    import numpy as np
+
+    from repro.bench.spec import reduce_spec
+    from repro.library.communicator import Communicator
+    from repro.machine.spec import NODE_A
+    from repro.sim.perturb import sample_ensemble
+
+    spec = reduce_spec("socket-ma", "allreduce", "adaptive")
+    machine = NODE_A
+
+    def _say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    _say(f"[microbench] coroutine run p={p} s={nbytes} ...")
+    t0 = perf_counter()
+    comm = Communicator(p, machine=machine, functional=False)
+    spec.resolve()(comm, nbytes)
+    coroutine_s = perf_counter() - t0
+
+    _say("[microbench] capture + lower ...")
+    t0 = perf_counter()
+    cs = capture_schedule(spec, machine, p, nbytes)
+    capture_s = perf_counter() - t0
+
+    base = cs.evaluate()  # build the level plan outside the timed loop
+    reps = 50
+    t0 = perf_counter()
+    for _ in range(reps):
+        cs.evaluate()
+    replay_s = (perf_counter() - t0) / reps
+
+    _say(f"[microbench] batched replay B={batch} ...")
+    ens = sample_ensemble(cs, batch, seed=2023, model="mixed")
+    t0 = perf_counter()
+    loop = [cs.evaluate(dur=ens.dur[i]) for i in range(batch)]
+    loop_s = perf_counter() - t0
+    t0 = perf_counter()
+    batched = cs.evaluate_batch(dur=ens.dur)
+    batch_s = perf_counter() - t0
+    bitwise = all(
+        np.array_equal(batched.completion[i], loop[i].completion)
+        and list(batched.rank_times[i]) == list(loop[i].rank_times)
+        for i in range(batch)
+    )
+
+    doc = {
+        "schema": MICROBENCH_SCHEMA,
+        "cell": {"runner": spec.describe(), "machine": machine.name,
+                 "p": p, "nbytes": nbytes},
+        "ops": len(cs),
+        "time": base.time,
+        "coroutine_s": coroutine_s,
+        "capture_s": capture_s,
+        "capture_overhead": capture_s / coroutine_s if coroutine_s else 0.0,
+        "replay_s": replay_s,
+        "replays_per_s": 1.0 / replay_s if replay_s else 0.0,
+        "batch": {
+            "n": batch,
+            "wall_s": batch_s,
+            "loop_wall_s": loop_s,
+            "speedup_vs_loop": loop_s / batch_s if batch_s else 0.0,
+        },
+        "bitwise_equal": bool(bitwise),
+    }
+    if results_dir is not None:
+        out = Path(results_dir) / "BENCH_compiled.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        _say(f"[microbench] wrote {out}")
+    return doc

@@ -81,7 +81,9 @@ def exec_payload(payload: dict) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def cell_descriptor(cell: dict, *, compiled: bool = False) -> dict:
+def cell_descriptor(cell: dict, *, compiled: bool = False,
+                    poly: bool = False,
+                    perturb: Optional[dict] = None) -> dict:
     """The cache identity of a sweep cell: full machine spec, runner
     spec, geometry and the repro source version.
 
@@ -89,7 +91,11 @@ def cell_descriptor(cell: dict, *, compiled: bool = False) -> dict:
     added *only* then, so every pre-existing coroutine key is
     byte-stable): replayed results are bitwise-equal to coroutine ones
     by construction, but sharing entries would let a cached coroutine
-    result mask a compiled-path regression.
+    result mask a compiled-path regression.  Size-polymorphic replay
+    keys as ``engine: "compiled-poly"`` — a re-timed result is a model
+    estimate and must never be served where an exact one is expected.
+    A perturbation config changes the result content (tail statistics
+    ride along), so it is part of the identity too.
     """
     from repro.machine.spec import PRESETS
 
@@ -103,7 +109,9 @@ def cell_descriptor(cell: dict, *, compiled: bool = False) -> dict:
         "runner": cell["runner"],
     }
     if compiled:
-        desc["engine"] = "compiled"
+        desc["engine"] = "compiled-poly" if poly else "compiled"
+        if perturb:
+            desc["perturb"] = dict(perturb)
     return desc
 
 
@@ -135,6 +143,9 @@ class BenchResult:
     name: str
     tables: List[SweepTable] = field(default_factory=list)
     custom_payload: Optional[dict] = None
+    #: compiled-path captures this run performed (cache/memo misses);
+    #: run-dependent, so reported via progress — never serialized
+    captures: int = 0
 
     def doc(self) -> dict:
         return benchmark_doc(
@@ -162,6 +173,8 @@ class _Work:
 def _drain(work: "list[_Work]", cache: Optional[ResultCache],
            pool: Optional[ProcessPoolExecutor]) -> None:
     """Resolve every work item: cache hit, pool future or inline run."""
+    from repro.bench.compiled import TRANSIENT_RESULT_KEYS
+
     for w in work:
         if cache is not None:
             w.result = cache.get(w.key)
@@ -172,10 +185,15 @@ def _drain(work: "list[_Work]", cache: Optional[ResultCache],
             w.result = w.future.result() if w.future is not None \
                 else exec_payload(w.payload)
             if cache is not None:
-                cache.put(w.key, w.descriptor, w.result)
+                # run artifacts (e.g. whether this run captured the
+                # schedule) describe the run, not the result: strip
+                cache.put(w.key, w.descriptor,
+                          {k: v for k, v in w.result.items()
+                           if k not in TRANSIENT_RESULT_KEYS})
 
 
 def _sweep_work(spec: SweepSpec, *, compiled: bool = False,
+                poly: bool = False, perturb: Optional[dict] = None,
                 results_dir: Optional[Path] = None) -> "list[_Work]":
     out = []
     for cell in spec.cells():
@@ -188,22 +206,38 @@ def _sweep_work(spec: SweepSpec, *, compiled: bool = False,
         }
         if compiled:
             payload["compiled"] = True
+            if poly:
+                payload["poly"] = True
+            if perturb:
+                payload["perturb"] = dict(perturb)
             if results_dir is not None:
                 payload["results_dir"] = str(results_dir)
-        out.append(_Work(payload, cell_descriptor(cell, compiled=compiled)))
+        out.append(_Work(payload, cell_descriptor(
+            cell, compiled=compiled, poly=poly, perturb=perturb)))
     return out
 
 
 def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
     table = SweepTable(title=spec.title, sizes=list(spec.sizes),
                        baseline=spec.baseline)
+    regions = set()
+    retimed = 0
     for cell, w in zip(spec.cells(), work):
         # .get: cache entries written before the counter schema lack
         # the key (source_version() normally invalidates them, but a
         # hand-copied cache directory must not crash the suite)
         table.add(cell["impl"], cell["x"], w.result["time"],
                   dav=w.result["dav"], algorithm=w.result["algorithm"],
-                  counters=w.result.get("counters"))
+                  counters=w.result.get("counters"),
+                  perturb=w.result.get("perturb"))
+        poly = w.result.get("poly")
+        if poly:
+            regions.add(poly["region"])
+            retimed += bool(poly.get("retimed"))
+    if regions:
+        table.notes.append(
+            f"size-poly: {len(work)} cells from {len(regions)} "
+            f"decision regions ({retimed} model-retimed)")
     return table
 
 
@@ -211,15 +245,21 @@ def run_sweep_table(spec: SweepSpec, *,
                     cache: Optional[ResultCache] = None,
                     pool: Optional[ProcessPoolExecutor] = None,
                     compiled: bool = False,
+                    poly: bool = False,
+                    perturb: Optional[dict] = None,
                     results_dir: Optional[Path] = None) -> SweepTable:
     """Execute one sweep (serial and uncached unless given otherwise).
 
     This is the pytest benchmark path: the per-figure modules call it
     from their ``run_figure`` helpers and keep their shape assertions.
     ``compiled=True`` replays lowered schedules instead of executing
-    the coroutine engine (persisted under ``results_dir`` when given).
+    the coroutine engine (persisted under ``results_dir`` when given);
+    ``poly=True`` shares schedules across sizes per decision region,
+    and ``perturb`` (``{"n", "model", "seed"}``) attaches tail
+    statistics from a seeded noise ensemble to every cell.
     """
-    work = _sweep_work(spec, compiled=compiled, results_dir=results_dir)
+    work = _sweep_work(spec, compiled=compiled, poly=poly,
+                       perturb=perturb, results_dir=results_dir)
     _drain(work, cache, pool)
     return _sweep_table(spec, work)
 
@@ -229,12 +269,14 @@ def run_benchmark(bench: Benchmark, *,
                   cache: Optional[ResultCache] = None,
                   pool: Optional[ProcessPoolExecutor] = None,
                   compiled: bool = False,
+                  poly: bool = False,
+                  perturb: Optional[dict] = None,
                   results_dir: Optional[Path] = None) -> BenchResult:
     """Execute one benchmark through the cache/pool machinery.
 
-    ``compiled`` applies to declarative sweep cells only: custom
-    benchmark functions drive the engine themselves and always run the
-    coroutine path.
+    ``compiled`` / ``poly`` / ``perturb`` apply to declarative sweep
+    cells only: custom benchmark functions drive the engine themselves
+    and always run the coroutine path.
     """
     result = BenchResult(name=bench.name)
     if bench.custom:
@@ -252,10 +294,12 @@ def run_benchmark(bench: Benchmark, *,
         _drain(work, cache, pool)
         result.custom_payload = work[0].result["payload"]
         return result
-    all_work = [_sweep_work(s, compiled=compiled, results_dir=results_dir)
+    all_work = [_sweep_work(s, compiled=compiled, poly=poly,
+                            perturb=perturb, results_dir=results_dir)
                 for s in bench.sweeps]
     flat = [w for ws in all_work for w in ws]
     _drain(flat, cache, pool)
+    result.captures = sum(1 for w in flat if w.result.get("captured"))
     for spec, work in zip(bench.sweeps, all_work):
         result.tables.append(_sweep_table(spec, work))
     return result
@@ -268,6 +312,8 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
               use_cache: bool = True,
               write_json: bool = True,
               compiled: bool = False,
+              poly: bool = False,
+              perturb: Optional[dict] = None,
               progress=None):
     """Run a set of benchmarks; write per-benchmark JSON documents and
     the consolidated ``BENCH_summary.json``.
@@ -276,7 +322,9 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
     per CPU core; ``jobs == 1`` runs inline (no pool).  ``compiled``
     switches sweep cells to the compiled-schedule replay path; the
     lowered schedules persist under ``<results_dir>/compiled/`` even
-    when the result cache is disabled.
+    when the result cache is disabled.  ``poly`` keys schedules by
+    decision region (one capture serves every size whose adaptive
+    decisions agree); ``perturb`` attaches seeded tail statistics.
     """
     from repro.bench.discover import benchmarks_dir, default_results_dir
     from repro.bench.jsonio import write_json as _write
@@ -298,13 +346,16 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
             if progress is not None:
                 progress(f"[bench] {name} ...")
             res = run_benchmark(bench, bench_dir=bench_dir, cache=cache,
-                                pool=pool, compiled=compiled,
-                                results_dir=results_dir)
+                                pool=pool, compiled=compiled, poly=poly,
+                                perturb=perturb, results_dir=results_dir)
             doc = res.doc()
             docs.append(doc)
             if write_json:
                 _write(doc, results_dir / f"BENCH_{name}.json")
             if progress is not None:
+                if compiled and res.captures:
+                    progress(f"[bench] {name}: captured {res.captures} "
+                             "schedule(s) this run")
                 for table in res.tables:
                     progress(table.render())
     finally:

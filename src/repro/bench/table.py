@@ -40,13 +40,18 @@ class SweepTable:
     #: counters[impl][size] — per-rank ``repro-obs/1`` snapshots, when
     #: the execution layer provides them
     counters: dict = field(default_factory=dict)
+    #: perturb[impl][size] — perturbation-ensemble tail statistics
+    #: (:meth:`repro.sim.perturb.PerturbStats.to_dict`), compiled
+    #: ``--perturb`` sweeps only
+    perturb: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
     baseline: str = ""
 
     def add(self, impl: str, size: int, seconds: float, *,
             dav: Optional[int] = None,
             algorithm: Optional[str] = None,
-            counters: Optional[dict] = None) -> None:
+            counters: Optional[dict] = None,
+            perturb: Optional[dict] = None) -> None:
         self.times.setdefault(impl, {})[size] = seconds
         if dav is not None:
             self.dav.setdefault(impl, {})[size] = dav
@@ -54,6 +59,8 @@ class SweepTable:
             self.algorithm.setdefault(impl, {})[size] = algorithm
         if counters is not None:
             self.counters.setdefault(impl, {})[size] = counters
+        if perturb is not None:
+            self.perturb.setdefault(impl, {})[size] = perturb
 
     def note(self, text: str) -> None:
         self.notes.append(text)
@@ -97,6 +104,27 @@ class SweepTable:
                     f"{t / tb:>{w}.2f}" if t is not None and tb else " " * w
                 )
             out.append(row)
+        if self.perturb:
+            first = next(iter(self.perturb.values()), {})
+            stats = next(iter(first.values()), {})
+            out.append("")
+            out.append(
+                "tail latency under perturbation "
+                f"(model={stats.get('model', '?')}, "
+                f"n={stats.get('n', '?')}; p50/p99/p999 us):")
+            out.append(header)
+            for s in self.sizes:
+                row = f"{fmt_size(s):>10} "
+                for i in self.impls():
+                    pb = self.perturb.get(i, {}).get(s)
+                    if pb is None:
+                        row += " " * w
+                    else:
+                        cell = (f"{pb['p50'] * 1e6:.1f}/"
+                                f"{pb['p99'] * 1e6:.1f}/"
+                                f"{pb['p999'] * 1e6:.1f}")
+                        row += f"{cell:>{w}}"
+                out.append(row)
         if self.notes:
             out.append("")
             out.extend(f"note: {n}" for n in self.notes)
@@ -140,6 +168,10 @@ class SweepTable:
             if i in self.counters:
                 entry["counters"] = {
                     str(s): c for s, c in self.counters[i].items()
+                }
+            if i in self.perturb:
+                entry["perturb"] = {
+                    str(s): pb for s, pb in self.perturb[i].items()
                 }
             impls[i] = entry
         relative = {}
@@ -187,6 +219,7 @@ class SweepTable:
                     dav=entry.get("dav", {}).get(s),
                     algorithm=entry.get("algorithm", {}).get(s),
                     counters=entry.get("counters", {}).get(s),
+                    perturb=entry.get("perturb", {}).get(s),
                 )
         return table
 

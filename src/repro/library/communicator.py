@@ -33,7 +33,8 @@ class Communicator:
 
     def __init__(self, nranks: int, *, machine: Optional[MachineSpec] = None,
                  functional: Optional[bool] = None, dtype=np.float64,
-                 trace: bool = False, seed: int = 2023):
+                 trace: bool = False, trace_accesses: bool = True,
+                 seed: int = 2023):
         if functional is None:
             functional = machine is None
         self.engine = Engine(
@@ -42,6 +43,7 @@ class Communicator:
             functional=functional,
             dtype=dtype,
             trace=trace,
+            trace_accesses=trace_accesses,
             seed=seed,
         )
 

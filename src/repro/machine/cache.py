@@ -31,6 +31,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 
+def streams_through(length: int, capacity: int) -> bool:
+    """True when a region of ``length`` bytes cannot be resident in a
+    cache of ``capacity`` bytes and therefore streams through it.
+
+    This is *the* size-dependent residency decision of the region
+    model (:class:`RegionCache` applies it on every store and insert);
+    the compiled evaluator's size-polymorphism guards
+    (:func:`repro.models.nt_model.decision_guards`) evaluate the same
+    predicate to decide whether two message sizes share a schedule's
+    cache-outcome regime."""
+    return length > capacity
+
+
 @dataclass
 class AccessResult:
     """Byte-level outcome of one cache access.
@@ -130,7 +143,7 @@ class RegionCache:
             self._regions.move_to_end(key)
             self._regions[key] = dirty
             return 0
-        if size > self.capacity:
+        if streams_through(size, self.capacity):
             # A region larger than the whole cache cannot be resident;
             # it streams through.  Model: not inserted, no write-back
             # here (the caller already counted the miss traffic).
@@ -205,7 +218,7 @@ class RegionCache:
             return AccessResult(hit=length)
         wb = self._resolve_overlaps(buf_id, start, length)
         wb += self._insert(key, length, dirty=True)
-        if length > self.capacity:
+        if streams_through(length, self.capacity):
             # Streaming store larger than cache: write-allocate still
             # reads every line once and dirty lines stream back out.
             return AccessResult(miss=length, rfo=length, writeback=wb + length)

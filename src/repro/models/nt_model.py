@@ -17,6 +17,8 @@ simulated YHCCL curve starts beating pure t-copy at these sizes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.machine.spec import MachineSpec, available_cache_capacity
 
 
@@ -49,6 +51,72 @@ def uses_nt_store(kind: str, s: int, machine: MachineSpec, p: int, *,
     c = available_cache_capacity(machine, p)
     m = machine.sockets
     return work_set_size(kind, s, p, m=m, imax=imax) > c
+
+
+def decision_guards(kind: str, s: int, p: int, machine: MachineSpec, *,
+                    imax: int, policy: str = "adaptive",
+                    small_threshold: Optional[int] = None) -> dict:
+    """The *decision guards* of one ``(kind, s, p, machine, imax,
+    policy)`` cell: every size-dependent adaptive decision the library
+    stack takes, evaluated as a flat JSON-safe dict.
+
+    Two message sizes whose guards evaluate identically sit in the
+    same **decision region**: the collective executes the same
+    algorithm regime, the same slice structure, the same NT-store
+    switch and the same cache-streaming regime, so one captured
+    compiled schedule can be *model re-timed* for the other size
+    (:meth:`repro.sim.compiled.CompiledSchedule.model_durations` with
+    scaled byte footprints) instead of recapturing.  A guard mismatch
+    keys a different schedule-cache entry, which is exactly the
+    automatic-recapture path.
+
+    Guard atoms:
+
+    * ``regime`` — small-message vs large-message algorithm routing
+      (:data:`repro.collectives.switching.SMALL_THRESHOLD`);
+    * ``nt`` — Algorithm 1's non-temporal store switch
+      (:func:`uses_nt_store`); ``None`` when the copy policy pins the
+      store path or the kind has no work-set formula;
+    * ``slices`` — per-rank block slice count under the ``imax`` cap,
+      plus divisibility flags (``tail_p``, ``tail_slice``): uneven
+      blocks change the schedule shape, not just its byte counts;
+    * ``blocks8k`` — the fixed 8 KB reduction-block count driving the
+      small-regime (DPML) op structure;
+    * ``streams`` — whether a per-rank block streams through the
+      retained per-socket cache
+      (:func:`repro.machine.cache.streams_through`).
+    """
+    from repro.collectives.switching import SMALL_THRESHOLD
+    from repro.machine.cache import streams_through
+    from repro.machine.memory import MemorySystem
+
+    if imax <= 0:
+        raise ValueError(f"imax must be positive, got {imax}")
+    thr = SMALL_THRESHOLD if small_threshold is None else small_threshold
+    block = -(-s // p) if s > 0 else 0  # ceil: one rank's share
+    slices = -(-block // imax) if block else 0
+    nt: Optional[bool] = None
+    if policy == "adaptive":
+        try:
+            nt = uses_nt_store(kind, s, machine, p, imax=imax)
+        except ValueError:
+            nt = None  # no work-set formula for this kind
+    small = s <= thr
+    retained = int(MemorySystem.CACHE_RETENTION
+                   * machine.socket.effective_cache_capacity)
+    return {
+        "kind": kind,
+        "p": p,
+        "policy": policy,
+        "imax": imax,
+        "regime": "small" if small else "large",
+        "nt": nt,
+        "slices": slices,
+        "tail_p": bool(s % p),
+        "tail_slice": bool(block % slices) if slices else False,
+        "blocks8k": -(-block // 8192) if small and block else 0,
+        "streams": streams_through(block, retained),
+    }
 
 
 def nt_switch_message_size(kind: str, machine: MachineSpec, p: int, *,

@@ -39,17 +39,25 @@ _SYNC_STEPS = {
 }
 
 
-def op_touched_bytes(kind: str, nbytes: int) -> int:
-    """Theorem 3.1 accounting for one engine operation: a copy touches
-    ``2n`` bytes (load + store), a reduce ``3n`` (two loads + store), a
-    touch ``n``; synchronization and compute move nothing."""
+def op_touch_factor(kind: str) -> int:
+    """Theorem 3.1 byte multiplier of one engine operation: a copy
+    touches ``2n`` bytes (load + store), a reduce ``3n`` (two loads +
+    store), a touch ``n``; synchronization and compute move nothing.
+    The compiled evaluator vectorizes this table over its int8 op-kind
+    codes (:data:`repro.sim.compiled.KIND_CODES`)."""
     if kind == "copy":
-        return 2 * nbytes
+        return 2
     if kind.startswith("reduce"):
-        return 3 * nbytes
+        return 3
     if kind == "touch":
-        return nbytes
+        return 1
     return 0
+
+
+def op_touched_bytes(kind: str, nbytes: int) -> int:
+    """Theorem 3.1 accounting for one engine operation —
+    :func:`op_touch_factor` times the byte count."""
+    return op_touch_factor(kind) * nbytes
 
 
 def static_op_time(kind: str, nbytes: int, *, cache_bandwidth_core: float,

@@ -57,6 +57,10 @@ from repro.machine.spec import socket_of_rank_meta
 #: schema tag for serialized compiled schedules
 COMPILED_SCHEMA = "repro-compiled/1"
 
+#: every schedule schema this loader understands (same guard idiom as
+#: the trace/certificate loaders in :mod:`repro.sim.replay`)
+SUPPORTED_COMPILED_SCHEMAS = (COMPILED_SCHEMA,)
+
 #: op-kind encoding of the flat schedule (int8 column)
 KIND_CODES: Dict[str, int] = {
     "copy": 0,
@@ -71,8 +75,29 @@ KIND_CODES: Dict[str, int] = {
 KIND_NAMES = {v: k for k, v in KIND_CODES.items()}
 
 
+def _touch_factors() -> np.ndarray:
+    from repro.models.timing import op_touch_factor
+
+    out = np.zeros(len(KIND_CODES), dtype=np.float64)
+    for name, code in KIND_CODES.items():
+        out[code] = op_touch_factor(name)
+    return out
+
+
+#: Theorem 3.1 byte multipliers indexed by op-kind code (shared with
+#: :func:`repro.models.timing.op_touched_bytes`)
+_TOUCH_FACTOR_BY_CODE = _touch_factors()
+
+
 class CompileError(ValueError):
     """The IR cannot be lowered (pending syncs, cycles, unknown ops)."""
+
+
+class ScheduleSchemaError(ValueError):
+    """A serialized schedule fails schema validation (unsupported or
+    missing schema tag, absent required fields).  Raised instead of a
+    raw ``KeyError`` so cache consumers can distinguish a corrupt or
+    future-versioned entry (recapture) from a programming error."""
 
 
 @dataclass
@@ -86,6 +111,45 @@ class CompiledTimes:
     def time(self) -> float:
         """Collective completion time: the slowest rank."""
         return max(self.rank_times) if self.rank_times else 0.0
+
+
+@dataclass
+class BatchedTimes:
+    """One :meth:`CompiledSchedule.evaluate_batch` call's output.
+
+    Row ``i`` is bitwise-identical to a single :meth:`evaluate` call
+    with the same start times and durations — batching is purely a
+    layout change (the same IEEE operations run element-wise across
+    the batch axis).
+    """
+
+    completion: np.ndarray  # float64 [B, nodes]
+    rank_times: np.ndarray  # float64 [B, nranks]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Per-replay collective completion time: the slowest rank."""
+        if self.rank_times.shape[1] == 0:
+            return np.zeros(self.rank_times.shape[0], dtype=np.float64)
+        return self.rank_times.max(axis=1)
+
+    def __len__(self) -> int:
+        return self.rank_times.shape[0]
+
+
+def _concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Vectorized ``concatenate([arange(s, s+l) for s, l in ...])``."""
+    nz = lens > 0
+    starts, lens = starts[nz], lens[nz]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(lens.sum())
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        offs = np.cumsum(lens)[:-1]
+        out[offs] = starts[1:] - starts[:-1] - lens[:-1] + 1
+    return np.cumsum(out)
 
 
 @dataclass
@@ -140,101 +204,198 @@ class CompiledSchedule:
     def _levels(self) -> List[_Level]:
         """Partition nodes into wavefronts of equal dependency depth and
         pre-gather each wavefront's predecessor segments (built once;
-        every :meth:`evaluate` call reuses it)."""
+        every :meth:`evaluate` call reuses it).
+
+        Depth is longest-path depth, computed by level-synchronous Kahn
+        rounds over a successor CSR (a node joins the frontier exactly
+        when its deepest predecessor has been processed), and each
+        level's gather arrays are sliced out of one stable sort of the
+        edge list by destination depth — no per-node Python work.
+        """
         if self._plan is not None:
             return self._plan
         n = len(self)
-        depth = np.zeros(n, dtype=np.int64)
         indptr, pred = self.indptr, self.pred
-        for v in range(n):  # nodes are stored in topological order
-            lo, hi = indptr[v], indptr[v + 1]
-            if hi > lo:
-                depth[v] = depth[pred[lo:hi]].max() + 1
-        plan: List[_Level] = []
+        counts = np.diff(indptr)
+        m = int(indptr[-1])
+        dst_of_edge = np.repeat(np.arange(n, dtype=np.int64), counts)
+        if m:
+            # successor CSR: stable sort keeps each source's out-edges
+            # in original (destination-ascending) order
+            succ_order = np.argsort(pred, kind="stable")
+            succ_dst = dst_of_edge[succ_order]
+            succ_counts = np.bincount(pred, minlength=n)
+        else:
+            succ_dst = np.empty(0, dtype=np.int64)
+            succ_counts = np.zeros(n, dtype=np.int64)
+        succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(succ_counts, out=succ_indptr[1:])
+        depth = np.zeros(n, dtype=np.int64)
+        indeg = counts.copy()
+        frontier = np.flatnonzero(indeg == 0)
+        d = 0
+        while frontier.size:
+            depth[frontier] = d
+            d += 1
+            idx = _concat_ranges(succ_indptr[frontier],
+                                 succ_counts[frontier])
+            if idx.size == 0:
+                break  # no out-edges left: lower() guarantees a DAG
+            targets = succ_dst[idx]
+            np.subtract.at(indeg, targets, 1)
+            frontier = np.unique(targets[indeg[targets] == 0])
+        nlev = int(depth.max()) + 1 if n else 0
         order = np.argsort(depth, kind="stable")
-        bounds = np.searchsorted(depth[order], np.arange(depth.max() + 2))
-        for d in range(len(bounds) - 1):
-            nodes = order[bounds[d]:bounds[d + 1]]
-            if nodes.size == 0:
-                continue
-            counts = indptr[nodes + 1] - indptr[nodes]
-            solo = nodes[counts == 0]
-            rest = nodes[counts > 0]
-            if rest.size:
-                segs = [pred[indptr[v]:indptr[v + 1]] for v in rest]
-                lats = [self.pred_lat[indptr[v]:indptr[v + 1]]
-                        for v in rest]
-                gather = np.concatenate(segs)
-                gather_lat = np.concatenate(lats)
-                seg = np.zeros(rest.size, dtype=np.int64)
-                np.cumsum([s.size for s in segs[:-1]], out=seg[1:])
-            else:
-                gather = np.empty(0, dtype=np.int64)
-                gather_lat = np.empty(0, dtype=np.float64)
-                seg = np.empty(0, dtype=np.int64)
-            plan.append(_Level(solo=solo, nodes=rest, gather=gather,
-                               gather_lat=gather_lat, seg=seg))
+        bounds = np.searchsorted(depth[order], np.arange(nlev + 1))
+        if m:
+            edepth = depth[dst_of_edge]
+            edge_order = np.argsort(edepth, kind="stable")
+            ecounts = np.bincount(edepth, minlength=nlev)
+            gathers = pred[edge_order]
+            glats = self.pred_lat[edge_order]
+        else:
+            ecounts = np.zeros(nlev, dtype=np.int64)
+            gathers = np.empty(0, dtype=np.int64)
+            glats = np.empty(0, dtype=np.float64)
+        ebounds = np.zeros(nlev + 1, dtype=np.int64)
+        np.cumsum(ecounts, out=ebounds[1:])
+        plan: List[_Level] = []
+        for dlev in range(nlev):
+            nodes = order[bounds[dlev]:bounds[dlev + 1]]
+            cnt = counts[nodes]
+            solo = nodes[cnt == 0]
+            rest = nodes[cnt > 0]
+            seg = np.zeros(rest.size, dtype=np.int64)
+            if rest.size > 1:
+                np.cumsum(counts[rest][:-1], out=seg[1:])
+            plan.append(_Level(
+                solo=solo, nodes=rest,
+                gather=gathers[ebounds[dlev]:ebounds[dlev + 1]],
+                gather_lat=glats[ebounds[dlev]:ebounds[dlev + 1]],
+                seg=seg,
+            ))
         self._plan = plan
         return plan
 
-    def _base(self, start_times: Optional[Sequence[float]]) -> np.ndarray:
-        """Per-node start floor: each rank's initial clock (zero by
-        default), broadcast to barrier joins as the max over members."""
+    def _base_batch(self, st: Optional[np.ndarray], B: int) -> np.ndarray:
+        """Per-node start floor, batched: each rank's initial clock
+        (zero by default), broadcast to barrier joins as the max over
+        members.  ``st`` is ``(B, nranks)`` or ``None``."""
         n = len(self)
-        if start_times is None:
-            return np.zeros(n, dtype=np.float64)
-        st = np.asarray(start_times, dtype=np.float64)
-        if st.shape != (self.nranks,):
-            raise ValueError(
-                f"start_times must have one entry per rank "
-                f"({self.nranks}), got shape {st.shape}"
-            )
-        base = np.zeros(n, dtype=np.float64)
+        base = np.zeros((B, n), dtype=np.float64)
+        if st is None:
+            return base
         owned = self.rank >= 0
-        base[owned] = st[self.rank[owned]]
+        base[:, owned] = st[:, self.rank[owned]]
         for v, group in self.groups.items():
-            base[v] = st[list(group)].max() if len(group) else 0.0
+            base[:, v] = (st[:, list(group)].max(axis=1)
+                          if len(group) else 0.0)
         return base
 
     # ---- evaluation --------------------------------------------------
 
     def evaluate(self, *, start_times: Optional[Sequence[float]] = None,
                  dur: Optional[np.ndarray] = None) -> CompiledTimes:
-        """Vectorized completion-time evaluation.
+        """Vectorized completion-time evaluation of one replay.
 
         With default arguments this reproduces the capture run's times
         bitwise.  ``start_times`` skews each rank's initial clock (the
         perturbation hook ROADMAP item 5 builds on); ``dur`` swaps in
         alternative per-op durations (see :meth:`model_durations`).
+        A batch-of-one :meth:`evaluate_batch` — same operations, same
+        bits.
         """
-        durv = self.dur if dur is None else np.asarray(dur, np.float64)
-        if durv.shape != self.dur.shape:
-            raise ValueError("dur must match the schedule's node count")
-        base = self._base(start_times)
-        comp = np.zeros(len(self), dtype=np.float64)
+        if dur is not None:
+            durv = np.asarray(dur, np.float64)
+            if durv.shape != self.dur.shape:
+                raise ValueError(
+                    "dur must match the schedule's node count"
+                )
+        res = self.evaluate_batch(start_times=start_times, dur=dur,
+                                  batch=1)
+        return CompiledTimes(
+            completion=res.completion[0],
+            rank_times=[float(t) for t in res.rank_times[0]],
+        )
+
+    def evaluate_batch(self, *,
+                       start_times: Optional[np.ndarray] = None,
+                       dur: Optional[np.ndarray] = None,
+                       batch: Optional[int] = None) -> BatchedTimes:
+        """Evaluate ``B`` replays in one vectorized pass.
+
+        ``start_times`` is ``(B, nranks)`` (or ``(nranks,)``,
+        broadcast), ``dur`` is ``(B, n_ops)`` (or ``(n_ops,)``,
+        broadcast); ``batch`` pins ``B`` when both are broadcast.  The
+        wavefront recurrence runs with one ``np.maximum.reduceat`` per
+        level *across the whole batch* (``axis=1``), so each row
+        executes exactly the element-wise IEEE operations a single
+        :meth:`evaluate` call would — row ``i`` of the result is
+        bitwise-identical to evaluating ``(start_times[i], dur[i])``
+        alone.  This is what makes thousand-replay perturbation
+        ensembles (:mod:`repro.sim.perturb`) nearly free.
+        """
+        n = len(self)
+        st = None
+        if start_times is not None:
+            st = np.asarray(start_times, dtype=np.float64)
+            if st.ndim == 1:
+                st = st[None, :]
+            if st.ndim != 2 or st.shape[1] != self.nranks:
+                raise ValueError(
+                    f"start_times must have one entry per rank "
+                    f"({self.nranks}), got shape {st.shape}"
+                )
+        durv = self.dur[None, :] if dur is None \
+            else np.asarray(dur, dtype=np.float64)
+        if durv.ndim == 1:
+            durv = durv[None, :]
+        if durv.ndim != 2 or durv.shape[1] != n:
+            raise ValueError(
+                f"dur must have one entry per op ({n}), got shape "
+                f"{durv.shape}"
+            )
+        sizes = {a.shape[0] for a in (st, durv)
+                 if a is not None and a.shape[0] != 1}
+        if batch is not None:
+            if batch < 1:
+                raise ValueError("batch must be positive")
+            sizes.add(int(batch))
+        if len(sizes) > 1:
+            raise ValueError(
+                f"inconsistent batch sizes: {sorted(sizes)}"
+            )
+        B = sizes.pop() if sizes else 1
+        if st is not None and st.shape[0] != B:
+            st = np.ascontiguousarray(
+                np.broadcast_to(st, (B, self.nranks)))
+        if durv.shape[0] != B:
+            durv = np.broadcast_to(durv, (B, n))
+        base = self._base_batch(st, B)
+        comp = np.zeros((B, n), dtype=np.float64)
         for level in self._levels():
             if level.solo.size:
-                comp[level.solo] = base[level.solo] + durv[level.solo]
+                comp[:, level.solo] = (base[:, level.solo]
+                                       + durv[:, level.solo])
             if level.nodes.size:
-                vals = comp[level.gather] + level.gather_lat
-                arrive = np.maximum.reduceat(vals, level.seg)
-                comp[level.nodes] = (
-                    np.maximum(base[level.nodes], arrive)
-                    + durv[level.nodes]
+                vals = comp[:, level.gather] + level.gather_lat
+                arrive = np.maximum.reduceat(vals, level.seg, axis=1)
+                comp[:, level.nodes] = (
+                    np.maximum(base[:, level.nodes], arrive)
+                    + durv[:, level.nodes]
                 )
-        rank_times = []
-        for r in range(self.nranks):
-            v = self.last_of_rank[r]
-            if v < 0:
-                rank_times.append(0.0 if start_times is None
-                                  else float(start_times[r]))
-            else:
-                rank_times.append(float(comp[v]))
-        return CompiledTimes(completion=comp, rank_times=rank_times)
+        rank_times = np.zeros((B, self.nranks), dtype=np.float64)
+        live = self.last_of_rank >= 0
+        if live.any():
+            rank_times[:, live] = comp[:, self.last_of_rank[live]]
+        if st is not None and not live.all():
+            rank_times[:, ~live] = st[:, ~live]
+        return BatchedTimes(completion=comp, rank_times=rank_times)
 
     # ---- model-driven re-timing --------------------------------------
 
-    def model_durations(self, machine) -> np.ndarray:
+    def model_durations(self, machine, *,
+                        nbytes: Optional[np.ndarray] = None) -> np.ndarray:
         """Alternative per-op durations from the *static* timing model
         (:func:`repro.models.timing.static_op_time`), vectorized.
 
@@ -243,16 +404,19 @@ class CompiledSchedule:
         evaluating with it gives the same optimistic bound the static
         critical-path pass computes, not engine-exact times.  Useful
         for what-if sweeps over machine constants without recapturing.
+
+        ``nbytes`` substitutes alternative per-op byte footprints —
+        the size-polymorphic replay path passes the captured footprints
+        scaled to a different message size whose decision guards agree
+        (see :func:`repro.models.nt_model.decision_guards`).
         """
+        nb = self.nbytes if nbytes is None \
+            else np.asarray(nbytes, dtype=np.int64)
+        if nb.shape != self.nbytes.shape:
+            raise ValueError("nbytes must match the schedule's node count")
         dur = np.zeros(len(self), dtype=np.float64)
-        data = self.kind <= KIND_CODES["compute"]
-        touched = np.zeros(len(self), dtype=np.float64)
-        touched[self.kind == KIND_CODES["copy"]] = 2.0
-        touched[(self.kind == KIND_CODES["reduce_acc"])
-                | (self.kind == KIND_CODES["reduce_out"])] = 3.0
-        touched[self.kind == KIND_CODES["touch"]] = 1.0
-        touched *= self.nbytes
-        moved = data & (touched > 0)
+        touched = _TOUCH_FACTOR_BY_CODE[self.kind] * nb
+        moved = (self.kind <= KIND_CODES["compute"]) & (touched > 0)
         dur[moved] = (touched[moved] / machine.cache_bandwidth_core
                       + machine.op_overhead)
         compute = self.kind == KIND_CODES["compute"]
@@ -281,6 +445,24 @@ def _calibrate(arrive: float, t_end: float) -> float:
     while arrive + d < t_end:
         d = math.nextafter(d, math.inf)
     return d
+
+
+def _calibrate_array(arrive: np.ndarray, t_end: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_calibrate`: per-element ULP walks run in
+    lockstep (each element follows exactly the scalar walk — down
+    first, then up), so the result matches the scalar loop bitwise."""
+    dur = t_end - arrive
+    over = arrive + dur > t_end
+    while over.any():
+        idx = np.flatnonzero(over)
+        dur[idx] = np.nextafter(dur[idx], -np.inf)
+        over[idx] = arrive[idx] + dur[idx] > t_end[idx]
+    under = arrive + dur < t_end
+    while under.any():
+        idx = np.flatnonzero(under)
+        dur[idx] = np.nextafter(dur[idx], np.inf)
+        under[idx] = arrive[idx] + dur[idx] < t_end[idx]
+    return dur
 
 
 def lower(ir) -> CompiledSchedule:
@@ -359,18 +541,17 @@ def lower(ir) -> CompiledSchedule:
     pred_lat = np.fromiter((la for ls in lat_of for la in ls),
                            dtype=np.float64, count=int(indptr[-1]))
 
-    # calibrate durations against the captured completion times, in
-    # topological order (each node's arrival only reads already-exact
-    # predecessor completions)
-    dur = np.zeros(n, dtype=np.float64)
-    for i in range(n):
-        lo, hi = indptr[i], indptr[i + 1]
-        arrive = 0.0
-        for j in range(lo, hi):
-            a = t_end[pred[j]] + pred_lat[j]
-            if a > arrive:
-                arrive = a
-        dur[i] = _calibrate(arrive, float(t_end[i]))
+    # calibrate durations against the captured completion times.  Every
+    # predecessor's t_end is *captured* (not recomputed), so all
+    # arrivals come out of one CSR segment-max and the ULP walks
+    # vectorize — no per-node Python
+    arrive = np.zeros(n, dtype=np.float64)
+    if pred.size:
+        vals = t_end[pred] + pred_lat
+        rows = np.flatnonzero(np.diff(indptr) > 0)
+        arrive[rows] = np.maximum(
+            np.maximum.reduceat(vals, indptr[rows]), 0.0)
+    dur = _calibrate_array(arrive, t_end)
 
     last_of_rank = np.full(nranks, -1, dtype=np.int64)
     for i in range(n):
@@ -415,18 +596,42 @@ def schedule_to_doc(cs: CompiledSchedule) -> dict:
     }
 
 
+#: fields a schedule document must carry to be loadable at all
+_REQUIRED_DOC_FIELDS = (
+    "nranks", "kind", "rank", "nbytes", "nt", "dur", "t_end",
+    "indptr", "pred", "pred_lat", "last_of_rank",
+)
+
+
 def schedule_from_doc(doc: dict) -> CompiledSchedule:
     """Parse a document produced by :func:`schedule_to_doc`.
 
     Floats round-trip exactly through JSON (``repr`` shortest-float
     serialization), so a cache-loaded schedule evaluates bitwise
     identically to the freshly lowered one.
+
+    Corrupt or future-versioned documents raise
+    :class:`ScheduleSchemaError` naming the supported schema versions
+    (never a raw ``KeyError``): the schedule cache treats that as a
+    recapture signal, not a crash.
     """
+    if not isinstance(doc, dict):
+        raise ScheduleSchemaError(
+            f"compiled-schedule document must be an object, got "
+            f"{type(doc).__name__}"
+        )
     schema = doc.get("schema")
-    if schema != COMPILED_SCHEMA:
-        raise ValueError(
+    if schema not in SUPPORTED_COMPILED_SCHEMAS:
+        raise ScheduleSchemaError(
             f"unsupported compiled-schedule schema {schema!r}; "
-            f"supported: {COMPILED_SCHEMA}"
+            f"supported versions: "
+            f"{', '.join(SUPPORTED_COMPILED_SCHEMAS)}"
+        )
+    missing = [f for f in _REQUIRED_DOC_FIELDS if f not in doc]
+    if missing:
+        raise ScheduleSchemaError(
+            f"compiled-schedule document ({schema}) is missing "
+            f"required fields: {', '.join(missing)}"
         )
     return CompiledSchedule(
         meta=dict(doc.get("meta", {})),

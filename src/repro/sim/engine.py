@@ -409,6 +409,7 @@ class Engine:
         functional: bool = True,
         dtype=np.float64,
         trace: bool = False,
+        trace_accesses: bool = True,
         seed: int = 12345,
         schedule_seed: Optional[int] = None,
         cache_model: str = "region",
@@ -429,7 +430,15 @@ class Engine:
         ``sanitize`` attaches byte-granular shadow state to every
         buffer this engine allocates, flagging uninitialized reads and
         same-epoch overlapping writes at access time (see
-        :class:`~repro.sim.buffers.Sanitizer`)."""
+        :class:`~repro.sim.buffers.Sanitizer`).
+
+        ``trace_accesses=False`` keeps op records, spans and sync
+        events but skips the per-byte-range :class:`AccessEvent`
+        stream.  The compiled-schedule capture uses this *light
+        tracing* mode: lowering only needs the op/sync structure, and
+        access events dominate the capture overhead on slice-heavy
+        cells.  Traces meant for the happens-before analyzer or the
+        static buffer lints need the full stream (the default)."""
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         if machine is not None:
@@ -444,6 +453,7 @@ class Engine:
             else None
         )
         self.trace: Optional[Trace] = Trace() if trace else None
+        self.trace_accesses = bool(trace_accesses)
         self.rng = np.random.default_rng(seed)
         self._sched_rng = (
             np.random.default_rng(schedule_seed)
@@ -518,6 +528,8 @@ class Engine:
                 t_end=ctx.clock,
             )
         )
+        if not self.trace_accesses:
+            return
         op_index = len(self.trace.records) - 1
         for mode, views in (("r", reads), ("w", writes)):
             for v in views:

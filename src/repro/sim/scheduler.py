@@ -124,6 +124,14 @@ class ControlledScheduler(SchedulerPolicy):
     controlled = True
 
     def begin_run(self, engine, ranks: Sequence[int]) -> None:
+        # The DPOR conflict relation is built from AccessEvent byte
+        # ranges; the compiled-capture light-tracing mode drops those.
+        # Refuse loudly rather than explore with empty footprints.
+        if engine.trace is not None and \
+                not getattr(engine, "trace_accesses", True):
+            raise ValueError(
+                "ControlledScheduler needs full access tracing; "
+                "construct the engine with trace_accesses=True")
         self._pending = None
 
     def pick(self, engine, candidates: Tuple[int, ...]) -> int:

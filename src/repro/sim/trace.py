@@ -205,10 +205,14 @@ class Trace:
         for i, ev in enumerate(self.events):
             if isinstance(ev, SyncEvent) and ev.kind == "run_start":
                 start = i + 1
-        for ev in self.events[start:]:
-            if isinstance(ev, AccessEvent) and ev.op_index >= 0:
-                ev = replace(ev, op_index=ev.op_index - first_record)
-            out.events.append(ev)
+        if first_record:
+            for ev in self.events[start:]:
+                if isinstance(ev, AccessEvent) and ev.op_index >= 0:
+                    ev = replace(ev, op_index=ev.op_index - first_record)
+                out.events.append(ev)
+        else:
+            # nothing to rebase: skip the per-event dataclass copies
+            out.events.extend(self.events[start:])
         out._seq = self._seq
         return out
 

@@ -18,3 +18,16 @@ class TestBenchCLI:
     def test_comma_separated_selection_validated(self, capsys):
         assert main(["bench", "fig11_allreduce,bogus"]) == 2
         assert "bogus" in capsys.readouterr().err
+
+    def test_poly_requires_compiled(self, capsys):
+        assert main(["bench", "fig11_allreduce", "--poly"]) == 2
+        assert "--compiled" in capsys.readouterr().err
+
+    def test_perturb_requires_compiled(self, capsys):
+        assert main(["bench", "fig11_allreduce", "--perturb", "8"]) == 2
+        assert "--compiled" in capsys.readouterr().err
+
+    def test_negative_perturb_rejected(self, capsys):
+        assert main(["bench", "fig11_allreduce", "--compiled",
+                     "--perturb", "-1"]) == 2
+        assert ">= 0" in capsys.readouterr().err

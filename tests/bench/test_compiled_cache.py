@@ -10,11 +10,21 @@ from repro.bench.cache import descriptor_key
 from repro.bench.compiled import (
     CompiledScheduleCache,
     capture_schedule,
+    clear_schedule_memo,
     exec_compiled_cell,
     schedule_descriptor,
 )
 from repro.bench.executor import cell_descriptor, run_sweep_table
 from repro.bench.spec import reduce_spec
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """The in-process schedule memo survives across tests (by design:
+    it survives across cells); cache-behavior tests need it empty."""
+    clear_schedule_memo()
+    yield
+    clear_schedule_memo()
 
 
 def _cell(**over):
@@ -82,8 +92,10 @@ class TestExecCompiledCell:
                             counting)
         first = exec_compiled_cell(_payload(tmp_path))
         assert len(captures) == 1
+        assert first.pop("captured") is True  # transient run artifact
         second = exec_compiled_cell(_payload(tmp_path))
         assert len(captures) == 1, "second call must be pure replay"
+        assert "captured" not in second
         assert second == first
 
     def test_no_results_dir_still_works(self):
@@ -98,6 +110,9 @@ class TestExecCompiledCell:
         entry = json.loads(path.read_text())
         entry["result"]["schema"] = "repro-compiled/0"  # stale schema
         path.write_text(json.dumps(entry))
+        # the memo would mask the corruption (that's its job); drop it
+        # to force the disk read
+        clear_schedule_memo()
         out = exec_compiled_cell(_payload(tmp_path))
         assert out["time"] > 0
         # the recapture repaired the entry on disk
@@ -109,7 +124,158 @@ class TestExecCompiledCell:
 
         ref = exec_payload(dict(_cell(), type="cell"))
         out = exec_compiled_cell(_payload(tmp_path))
+        out.pop("captured", None)  # run artifact, not cell result
         assert out == ref
+
+
+MB = 1024 * 1024
+
+
+def _poly_cell(nbytes, **over):
+    """NodeA p=8 adaptive allreduce with imax=4MB: the NT threshold
+    sits at (C - p*imax)/(2p) ≈ 14.25MB, so 8/12MB share a decision
+    region and 16MB flips the ``nt`` guard."""
+    return _cell(
+        p=8, nbytes=nbytes,
+        runner=reduce_spec("socket-ma", "allreduce", "adaptive",
+                           imax=4 * MB).describe(),
+        **over)
+
+
+class TestSizePolymorphic:
+    def test_same_guards_share_the_schedule_key(self):
+        from repro.bench.compiled import cell_guards
+
+        a, b = _poly_cell(8 * MB), _poly_cell(12 * MB)
+        assert cell_guards(a) == cell_guards(b)
+        assert descriptor_key(schedule_descriptor(a, poly=True)) == \
+            descriptor_key(schedule_descriptor(b, poly=True))
+        # exact-mode keys still distinguish the sizes
+        assert descriptor_key(schedule_descriptor(a)) != \
+            descriptor_key(schedule_descriptor(b))
+
+    def test_guard_flip_changes_the_key(self):
+        from repro.bench.compiled import cell_guards
+
+        a, c = _poly_cell(8 * MB), _poly_cell(16 * MB)
+        ga, gc = cell_guards(a), cell_guards(c)
+        assert ga["nt"] is False and gc["nt"] is True
+        assert descriptor_key(schedule_descriptor(a, poly=True)) != \
+            descriptor_key(schedule_descriptor(c, poly=True))
+
+    def test_one_capture_serves_the_region(self, tmp_path, monkeypatch):
+        captures = []
+        real = capture_schedule
+
+        def counting(*a, **kw):
+            captures.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr("repro.bench.compiled.capture_schedule",
+                            counting)
+        first = exec_compiled_cell(
+            dict(_poly_cell(8 * MB), type="cell", compiled=True,
+                 poly=True, results_dir=str(tmp_path)))
+        second = exec_compiled_cell(
+            dict(_poly_cell(12 * MB), type="cell", compiled=True,
+                 poly=True, results_dir=str(tmp_path)))
+        third = exec_compiled_cell(
+            dict(_poly_cell(16 * MB), type="cell", compiled=True,
+                 poly=True, results_dir=str(tmp_path)))
+        assert len(captures) == 2  # 8MB region + 16MB (NT flip) region
+        assert first["poly"]["retimed"] is False
+        assert second["poly"]["retimed"] is True
+        assert third["poly"]["retimed"] is False
+        assert first["poly"]["region"] == second["poly"]["region"]
+        assert third["poly"]["region"] != first["poly"]["region"]
+
+    def test_exact_at_captured_size_matches_coroutine(self, tmp_path):
+        from repro.bench.executor import exec_payload
+
+        cell = _poly_cell(8 * MB)
+        ref = exec_payload(dict(cell, type="cell"))
+        out = exec_compiled_cell(
+            dict(cell, type="cell", compiled=True, poly=True,
+                 results_dir=str(tmp_path)))
+        out.pop("captured", None)
+        assert out.pop("poly") == {
+            "region": descriptor_key(
+                schedule_descriptor(cell, poly=True))[:12],
+            "retimed": False,
+        }
+        assert out == ref
+
+    def test_retimed_result_scales_dav(self, tmp_path):
+        a = exec_compiled_cell(
+            dict(_poly_cell(8 * MB), type="cell", compiled=True,
+                 poly=True, results_dir=str(tmp_path)))
+        b = exec_compiled_cell(
+            dict(_poly_cell(12 * MB), type="cell", compiled=True,
+                 poly=True, results_dir=str(tmp_path)))
+        assert b["poly"]["retimed"] is True
+        assert b["dav"] == round(a["dav"] * 1.5)
+        assert b["time"] > 0
+
+
+class TestScheduleMemo:
+    def test_memo_serves_repeat_calls_without_results_dir(self,
+                                                          monkeypatch):
+        captures = []
+        real = capture_schedule
+
+        def counting(*a, **kw):
+            captures.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr("repro.bench.compiled.capture_schedule",
+                            counting)
+        first = exec_compiled_cell(_payload())
+        second = exec_compiled_cell(_payload())
+        assert len(captures) == 1, \
+            "memo must cover the cache-less (--no-cache) path"
+        first.pop("captured", None)
+        assert second == first
+
+    def test_memo_capped(self):
+        from repro.bench import compiled as mod
+
+        clear_schedule_memo()
+        for i in range(mod._MEMO_CAP + 5):
+            mod._memo_put(("", f"k{i}"), object())
+        assert len(mod._SCHEDULE_MEMO) == mod._MEMO_CAP
+        assert ("", "k0") not in mod._SCHEDULE_MEMO  # oldest evicted
+
+
+class TestAtomicPut:
+    def test_no_shared_tmp_name_collision(self, tmp_path):
+        # two caches writing the same key concurrently must never
+        # interleave: each writer owns a unique temp file
+        import threading
+
+        from repro.bench.cache import ResultCache
+
+        caches = [ResultCache(tmp_path) for _ in range(4)]
+        key = "ab" + "0" * 62
+        payload = {"v": list(range(500))}
+        errors = []
+
+        def writer(c):
+            try:
+                for _ in range(50):
+                    c.put(key, {"d": 1}, payload)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(c,))
+                   for c in caches]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert caches[0].get(key) == payload  # intact, complete JSON
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
 
 
 class TestCompiledSweep:
@@ -127,6 +293,59 @@ class TestCompiledSweep:
                         results_dir=tmp_path)
         stored = list((tmp_path / "compiled").rglob("*.json"))
         assert len(stored) == 4  # one schedule per sweep cell
+
+    def test_poly_table_on_distinct_regions_matches_coroutine(
+            self, tmp_path, tiny_sweep):
+        # the tiny sweep's sizes sit in different decision regions
+        # (their 8KB-block counts differ), so every poly cell replays
+        # exactly — the table must equal the coroutine one apart from
+        # the poly provenance note
+        ref = run_sweep_table(tiny_sweep)
+        out = run_sweep_table(tiny_sweep, compiled=True, poly=True,
+                              results_dir=tmp_path)
+        assert any("0 model-retimed" in n for n in out.notes)
+        out.notes = []
+        assert out.to_json() == ref.to_json()
+
+    def test_perturb_stats_attach_and_are_deterministic(
+            self, tmp_path, tiny_sweep):
+        pb = {"n": 16, "model": "mixed", "seed": 9}
+        a = run_sweep_table(tiny_sweep, compiled=True, perturb=pb,
+                            results_dir=tmp_path)
+        clear_schedule_memo()
+        b = run_sweep_table(tiny_sweep, compiled=True, perturb=pb,
+                            results_dir=tmp_path)
+        assert a.to_json() == b.to_json()
+        for impl in a.impls():
+            for s in a.sizes:
+                stats = a.perturb[impl][s]
+                assert stats["n"] == 16
+                assert stats["base"] <= stats["p50"] <= stats["p999"]
+        # distinct cells perturb distinct streams
+        impl = a.impls()[0]
+        s0, s1 = a.sizes[:2]
+        assert a.perturb[impl][s0]["p99"] != a.perturb[impl][s1]["p99"]
+        assert "perturb" in a.to_json()["impls"][impl]
+
+    def test_perturb_requires_no_poly_and_composes_with_it(
+            self, tmp_path, tiny_sweep):
+        pb = {"n": 8, "model": "os-noise", "seed": 1}
+        out = run_sweep_table(tiny_sweep, compiled=True, poly=True,
+                              perturb=pb, results_dir=tmp_path)
+        for impl in out.impls():
+            assert set(out.perturb[impl]) == set(out.sizes)
+
+    def test_poly_and_perturb_results_key_separately(self):
+        cell = _cell()
+        keys = {
+            descriptor_key(cell_descriptor(cell, compiled=True)),
+            descriptor_key(cell_descriptor(cell, compiled=True,
+                                           poly=True)),
+            descriptor_key(cell_descriptor(
+                cell, compiled=True,
+                perturb={"n": 4, "model": "mixed", "seed": 1})),
+        }
+        assert len(keys) == 3
 
     def test_schedule_cache_stats(self, tmp_path):
         cache = CompiledScheduleCache(tmp_path / "compiled")

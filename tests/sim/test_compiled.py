@@ -28,6 +28,7 @@ from repro.machine.spec import PRESETS
 from repro.sim.compiled import (
     CompiledSchedule,
     CompileError,
+    ScheduleSchemaError,
     lower,
     schedule_from_doc,
     schedule_to_doc,
@@ -105,8 +106,26 @@ class TestRoundTrip:
         cs = capture_schedule(SPECS["allreduce/ring"], MACHINE, 2, 4096)
         doc = schedule_to_doc(cs)
         doc["schema"] = "repro-compiled/0"
-        with pytest.raises(ValueError, match="schema"):
+        with pytest.raises(ScheduleSchemaError) as exc:
             schedule_from_doc(doc)
+        # the error names the offending and the supported versions
+        assert "repro-compiled/0" in str(exc.value)
+        assert "repro-compiled/1" in str(exc.value)
+
+    def test_non_dict_doc_is_a_named_error(self):
+        with pytest.raises(ScheduleSchemaError, match="document"):
+            schedule_from_doc([1, 2, 3])
+
+    def test_missing_field_is_a_named_error(self):
+        cs = capture_schedule(SPECS["allreduce/ring"], MACHINE, 2, 4096)
+        doc = schedule_to_doc(cs)
+        del doc["indptr"]
+        with pytest.raises(ScheduleSchemaError, match="indptr"):
+            schedule_from_doc(doc)
+
+    def test_schema_error_is_a_value_error(self):
+        # the bench cache path catches ValueError to recapture
+        assert issubclass(ScheduleSchemaError, ValueError)
 
     def test_doc_is_json_safe(self):
         cs = capture_schedule(SPECS["bcast/pipelined"], MACHINE, 4, 65536)
@@ -146,6 +165,67 @@ class TestEvaluateKnobs:
         # the calibration invariant, directly on the arrays
         assert np.array_equal(schedule.evaluate().completion,
                               schedule.t_end_ref)
+
+
+class TestBatchedEvaluate:
+    """``evaluate_batch`` is a layout change, not a semantic one: every
+    row must equal the corresponding single ``evaluate`` call bitwise —
+    completion per op, per-rank times and therefore every derived
+    counter."""
+
+    B = 8
+
+    def _rows(self, cs, rng):
+        dur = np.tile(cs.dur, (self.B, 1))
+        dur *= 1.0 + 0.25 * rng.random(dur.shape)  # perturb every op
+        st = 1e-6 * rng.random((self.B, cs.nranks))
+        return st, dur
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_batch_rows_equal_single_evaluates(self, name, p):
+        cs = capture_schedule(SPECS[name], MACHINE, p, 65536)
+        st, dur = self._rows(cs, np.random.default_rng(7))
+        batched = cs.evaluate_batch(start_times=st, dur=dur)
+        for i in range(self.B):
+            single = cs.evaluate(start_times=st[i], dur=dur[i])
+            assert np.array_equal(batched.completion[i],
+                                  single.completion), (name, p, i)
+            assert list(batched.rank_times[i]) == single.rank_times, \
+                (name, p, i)
+        assert list(batched.times) == \
+            [cs.evaluate(start_times=st[i], dur=dur[i]).time
+             for i in range(self.B)]
+
+    def test_default_batch_replays_capture(self):
+        cs = capture_schedule(SPECS["allreduce/socket-ma"],
+                              MACHINE, 4, 65536)
+        res = cs.evaluate_batch(batch=3)
+        base = cs.evaluate()
+        for i in range(3):
+            assert np.array_equal(res.completion[i], base.completion)
+            assert list(res.rank_times[i]) == base.rank_times
+
+    def test_broadcast_1d_dur_against_2d_start_times(self):
+        cs = capture_schedule(SPECS["allreduce/ring"], MACHINE, 4, 65536)
+        st = 1e-6 * np.arange(3 * cs.nranks).reshape(3, cs.nranks)
+        res = cs.evaluate_batch(start_times=st, dur=cs.dur)
+        assert len(res) == 3
+        for i in range(3):
+            assert list(res.rank_times[i]) == \
+                cs.evaluate(start_times=st[i]).rank_times
+
+    def test_inconsistent_batch_sizes_rejected(self):
+        cs = capture_schedule(SPECS["allreduce/ring"], MACHINE, 2, 4096)
+        st = np.zeros((3, cs.nranks))
+        dur = np.tile(cs.dur, (4, 1))
+        with pytest.raises(ValueError, match="batch"):
+            cs.evaluate_batch(start_times=st, dur=dur)
+
+    def test_bad_batch_rejected(self):
+        cs = capture_schedule(SPECS["allreduce/ring"], MACHINE, 2, 4096)
+        with pytest.raises(ValueError, match="batch"):
+            cs.evaluate_batch(batch=0)
 
 
 class TestLowerErrors:

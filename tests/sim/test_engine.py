@@ -259,3 +259,44 @@ class TestDataOps:
         res = eng.run(program)
         assert res.traffic.logical_load == 64 * 1024
         assert res.traffic.logical_store == 0
+
+
+class TestLightTracing:
+    """``trace_accesses=False`` — the compiled-capture fast path —
+    must drop only the AccessEvent stream, never observation-free
+    structure (op records, spans, sync events) nor the simulation
+    itself (clocks, traffic, functional results)."""
+
+    def _run(self, **kw):
+        from repro.collectives.common import run_reduce_collective
+        from repro.collectives.ma import MA_ALLREDUCE
+
+        eng = Engine(4, machine=TINY, functional=True, seed=7,
+                     trace=True, **kw)
+        res = run_reduce_collective(MA_ALLREDUCE, eng, 2048, imax=512)
+        return eng, res
+
+    def test_drops_access_events_only(self):
+        full_eng, full = self._run()
+        light_eng, light = self._run(trace_accesses=False)
+
+        assert full_eng.trace.accesses(), "full tracing lost accesses"
+        assert light_eng.trace.accesses() == []
+
+        # everything else survives, byte-for-byte
+        assert len(light_eng.trace.records) == len(full_eng.trace.records)
+        assert ([(r.rank, r.kind, r.nbytes, r.nt, r.t_start, r.t_end)
+                 for r in light_eng.trace.records] ==
+                [(r.rank, r.kind, r.nbytes, r.nt, r.t_start, r.t_end)
+                 for r in full_eng.trace.records])
+        assert len(light_eng.trace.spans) == len(full_eng.trace.spans)
+        assert ([(e.rank, e.kind, e.tag)
+                 for e in light_eng.trace.sync_events()] ==
+                [(e.rank, e.kind, e.tag)
+                 for e in full_eng.trace.sync_events()])
+
+    def test_tracing_only_observes(self):
+        _, full = self._run()
+        _, light = self._run(trace_accesses=False)
+        assert light.times == full.times
+        assert light.traffic == full.traffic

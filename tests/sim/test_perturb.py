@@ -1,0 +1,110 @@
+"""Perturbation ensembles: seeded determinism, chunk invariance, model
+registry and the statistical sanity of the tail summaries."""
+
+import numpy as np
+import pytest
+
+from repro.bench.compiled import capture_schedule
+from repro.bench.spec import reduce_spec
+from repro.machine.spec import PRESETS
+from repro.sim.perturb import (
+    MODELS,
+    PerturbStats,
+    run_ensemble,
+    sample_ensemble,
+)
+
+MACHINE = PRESETS["NodeA"]
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    spec = reduce_spec("socket-ma", "allreduce", "adaptive")
+    return capture_schedule(spec, MACHINE, 4, 262144)
+
+
+class TestSampling:
+    def test_shapes(self, schedule):
+        ens = sample_ensemble(schedule, 16, seed=1)
+        assert ens.dur.shape == (16, len(schedule))
+        assert ens.start_times.shape == (16, schedule.nranks)
+        assert len(ens) == 16
+
+    def test_same_seed_same_ensemble(self, schedule):
+        a = sample_ensemble(schedule, 8, seed=42)
+        b = sample_ensemble(schedule, 8, seed=42)
+        assert np.array_equal(a.dur, b.dur)
+        assert np.array_equal(a.start_times, b.start_times)
+
+    def test_different_seed_differs(self, schedule):
+        a = sample_ensemble(schedule, 8, seed=42)
+        b = sample_ensemble(schedule, 8, seed=43)
+        assert not np.array_equal(a.dur, b.dur)
+
+    def test_noise_only_touches_busy_ops(self, schedule):
+        # additive models only inflate; freq-skew is two-sided (a rank
+        # can run *faster* than nominal); sync ops always stay put
+        for name in ("os-noise", "straggler", "arrival"):
+            ens = sample_ensemble(schedule, 4, seed=5, model=name)
+            assert np.all(ens.dur >= schedule.dur[None, :]), name
+        for name in MODELS:
+            ens = sample_ensemble(schedule, 4, seed=5, model=name)
+            sync = schedule.rank < 0
+            if sync.any():
+                assert np.array_equal(
+                    ens.dur[:, sync],
+                    np.tile(schedule.dur[sync], (4, 1))), name
+
+    def test_unknown_model_lists_choices(self, schedule):
+        with pytest.raises(ValueError, match="os-noise"):
+            sample_ensemble(schedule, 4, seed=1, model="gremlins")
+
+    def test_bad_n_rejected(self, schedule):
+        with pytest.raises(ValueError, match=">= 1"):
+            sample_ensemble(schedule, 0, seed=1)
+
+    def test_dur_override_shape_checked(self, schedule):
+        with pytest.raises(ValueError, match="node count"):
+            sample_ensemble(schedule, 4, seed=1, dur=np.zeros(3))
+
+
+class TestRunEnsemble:
+    def test_deterministic(self, schedule):
+        a = run_ensemble(schedule, 32, seed=7)
+        b = run_ensemble(schedule, 32, seed=7)
+        assert a.to_dict() == b.to_dict()
+
+    def test_chunking_does_not_change_bits(self, schedule):
+        a = run_ensemble(schedule, 32, seed=7, chunk=32)
+        b = run_ensemble(schedule, 32, seed=7, chunk=5)
+        c = run_ensemble(schedule, 32, seed=7, chunk=1)
+        assert a.to_dict() == b.to_dict() == c.to_dict()
+
+    def test_percentiles_ordered_and_above_base(self, schedule):
+        st = run_ensemble(schedule, 64, seed=3)
+        assert st.base == schedule.evaluate().time
+        assert st.base <= st.p50 <= st.p99 <= st.p999 <= st.worst
+        assert len(st.rank_p99) == schedule.nranks
+
+    def test_stats_round_trip_json_safe(self, schedule):
+        import json
+
+        st = run_ensemble(schedule, 8, seed=1, model="os-noise")
+        doc = json.loads(json.dumps(st.to_dict()))
+        assert doc["model"] == "os-noise"
+        assert doc["n"] == 8
+
+    def test_dur_override_shifts_base(self, schedule):
+        half = schedule.dur * 0.5
+        st = run_ensemble(schedule, 8, seed=1, dur=half)
+        assert st.base == schedule.evaluate(dur=half).time
+        assert st.base < schedule.evaluate().time
+
+    def test_bad_chunk_rejected(self, schedule):
+        with pytest.raises(ValueError, match="chunk"):
+            run_ensemble(schedule, 4, seed=1, chunk=0)
+
+    def test_stats_fields(self):
+        st = PerturbStats(model="mixed", n=1, seed=0, base=1.0, p50=1.0,
+                          p99=1.0, p999=1.0, mean=1.0, worst=1.0)
+        assert st.to_dict()["rank_p99"] == []

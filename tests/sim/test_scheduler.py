@@ -101,3 +101,17 @@ class TestControlledScheduler:
         assert (shm.buf_id, 0, 64) in writes and (shm.buf_id, 0, 64) in reads
         assert posts == [("ready",)]
         assert waits == [("ready",)]
+
+    def test_light_tracing_refused(self):
+        # footprints come from AccessEvents; the compiled-capture light
+        # mode drops them, which would silently break DPOR conflicts
+        sched = ControlledScheduler()
+        eng = Engine(2, functional=True, trace=True,
+                     trace_accesses=False, scheduler=sched)
+
+        def prog(ctx):
+            return
+            yield  # pragma: no cover - makes prog a generator
+
+        with pytest.raises(ValueError, match="trace_accesses"):
+            eng.run(prog)
