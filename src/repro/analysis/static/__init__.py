@@ -27,6 +27,7 @@ from repro.analysis.static.ir import (
     BufferInfo,
     Edge,
     Footprint,
+    IRSchemaError,
     IRValidationError,
     OpNode,
     ScheduleIR,
@@ -59,12 +60,29 @@ from repro.analysis.static.report import (
     findings_from_analysis,
     findings_to_json,
 )
+from repro.analysis.static.symbolic import (
+    SYMCERT_SCHEMA,
+    Affine,
+    SymbolicBoundsPass,
+    SymbolicDavPass,
+    SymbolicError,
+    SymbolicExactnessPass,
+    SymbolicSchedule,
+    capture_region_ir,
+    certify_matrix,
+    certify_region,
+    check_guard_partition,
+    probe_partners,
+    unify,
+)
 
 __all__ = [
     "IR_SCHEMA",
     "SUPPORTED_IR_SCHEMAS",
+    "SYMCERT_SCHEMA",
     "SEVERITIES",
     "DEFAULT_PASSES",
+    "Affine",
     "BufferInfo",
     "BufferPass",
     "CriticalPathPass",
@@ -73,6 +91,7 @@ __all__ = [
     "ExtractionPass",
     "Finding",
     "Footprint",
+    "IRSchemaError",
     "IRValidationError",
     "LocalityPass",
     "OpNode",
@@ -80,6 +99,15 @@ __all__ = [
     "Report",
     "ScheduleIR",
     "StaticDavPass",
+    "SymbolicBoundsPass",
+    "SymbolicDavPass",
+    "SymbolicError",
+    "SymbolicExactnessPass",
+    "SymbolicSchedule",
+    "capture_region_ir",
+    "certify_matrix",
+    "certify_region",
+    "check_guard_partition",
     "extract_case",
     "extract_collective",
     "extract_from_certificate",
@@ -93,7 +121,9 @@ __all__ = [
     "lint_case",
     "lint_collective",
     "lint_ir",
+    "probe_partners",
     "render_reports",
     "reports_to_payload",
     "run_passes",
+    "unify",
 ]

@@ -37,9 +37,27 @@ def add_lint_parser(sub) -> None:
     lint.add_argument("--ir-out", default="", metavar="DIR",
                       help="also write each extracted schedule IR "
                            "(repro-ir/1 JSON) into this directory")
+    lint.add_argument("--certify-regions", action="store_true",
+                      help="symbolic-size region certification instead "
+                           "of per-case linting: prove every decision "
+                           "region of the collective × p matrix shape-"
+                           "invariant (SA-SYM-* passes); the positional "
+                           "argument selects one collective kind or "
+                           "'all'")
+    lint.add_argument("--certify-p", default="2,4", metavar="P,P",
+                      help="comma-separated rank counts for "
+                           "--certify-regions (default 2,4)")
+    lint.add_argument("--certify-cap", type=int, default=None,
+                      metavar="BYTES",
+                      help="largest region base size certified by "
+                           "--certify-regions (0 = no cap; default "
+                           "4194304); capped regions are reported, "
+                           "never silently skipped")
 
 
 def run_lint_command(args) -> int:
+    if args.certify_regions:
+        return _run_certify(args)
     from repro.analysis.static.extract import DEFAULT_NRANKS, DEFAULT_S
     from repro.analysis.static.lint import (
         dump_irs,
@@ -68,6 +86,52 @@ def run_lint_command(args) -> int:
     if args.ir_out:
         for path in dump_irs(ir_sink, args.ir_out):
             print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(findings_to_json(reports_to_payload(reports), indent=2))
+    else:
+        print(render_reports(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def _run_certify(args) -> int:
+    """``lint --certify-regions``: symbolic certification of every
+    decision region in the collective × p matrix (the CI
+    ``certify-regions`` step).  Exit 1 on any ``SA-SYM-*`` error."""
+    from repro.analysis.static.lint import (
+        render_reports,
+        reports_to_payload,
+    )
+    from repro.analysis.static.report import findings_to_json
+    from repro.analysis.static.symbolic import (
+        DEFAULT_MAX_BASE,
+        certify_matrix,
+    )
+    from repro.models.nt_model import KNOWN_KINDS
+
+    if args.machine == "none":
+        print("error: --certify-regions needs a machine preset",
+              file=sys.stderr)
+        return 2
+    kinds = None
+    if args.collective != "all":
+        if args.collective not in KNOWN_KINDS:
+            print(f"error: unknown collective kind {args.collective!r}; "
+                  f"--certify-regions covers: {', '.join(KNOWN_KINDS)}",
+                  file=sys.stderr)
+            return 2
+        kinds = [args.collective]
+    try:
+        ps = tuple(int(x) for x in args.certify_p.split(","))
+    except ValueError:
+        print(f"error: bad --certify-p {args.certify_p!r}",
+              file=sys.stderr)
+        return 2
+    cap = DEFAULT_MAX_BASE if args.certify_cap is None \
+        else args.certify_cap
+    progress = None if args.json \
+        else (lambda msg: print(msg, file=sys.stderr))
+    reports = certify_matrix(PRESETS[args.machine], kinds=kinds, ps=ps,
+                             max_base=cap, progress=progress)
     if args.json:
         print(findings_to_json(reports_to_payload(reports), indent=2))
     else:

@@ -149,6 +149,16 @@ class IRValidationError(ValueError):
     """The IR is structurally broken (dangling refs, bad ranges)."""
 
 
+class IRSchemaError(ValueError):
+    """A serialized IR's schema version is missing or unsupported.
+
+    The IR analogue of :class:`repro.sim.compiled.ScheduleSchemaError`:
+    loading a document written by a future (or corrupted) version must
+    fail up front naming the supported versions, not crash downstream
+    with an opaque field error.
+    """
+
+
 class ScheduleIR:
     """The static op-dependency DAG of one collective schedule.
 
@@ -436,13 +446,25 @@ def ir_to_json(ir: ScheduleIR, *, indent: Optional[int] = None) -> str:
 def ir_from_json(text: str) -> ScheduleIR:
     """Parse an IR serialized by :func:`ir_to_json`.
 
-    Unknown schema versions are rejected up front with a
-    ``ValueError`` naming the supported versions.
+    Unknown schema versions are rejected up front with an
+    :class:`IRSchemaError` naming the supported versions; malformed
+    JSON raises :class:`IRSchemaError` too (the document is not an IR
+    at any version).
     """
-    payload = json.loads(text)
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise IRSchemaError(
+            f"schedule-IR document is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise IRSchemaError(
+            "schedule-IR document must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
     schema = payload.get("schema")
     if schema not in SUPPORTED_IR_SCHEMAS:
-        raise ValueError(
+        raise IRSchemaError(
             f"unsupported schedule-IR schema {schema!r}; supported "
             f"versions: {', '.join(SUPPORTED_IR_SCHEMAS)}"
         )

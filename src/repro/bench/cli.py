@@ -51,6 +51,13 @@ def add_bench_parser(sub) -> None:
              "model-retimed); requires --compiled",
     )
     bench.add_argument(
+        "--certified", action="store_true",
+        help="certify each decision region with the symbolic-size "
+             "analyzer and replay with engine-exact DAV/footprints "
+             "(uncertifiable regions fall back to model retiming and "
+             "report their SA-SYM-* codes); requires --poly",
+    )
+    bench.add_argument(
         "--perturb", type=int, default=0, metavar="N",
         help="replay an N-sample noise ensemble per cell through the "
              "batched evaluator and report p50/p99/p999 tail latency; "
@@ -94,6 +101,10 @@ def run_bench_command(args) -> int:
         print(f"error: {which} requires --compiled (it operates on "
               "captured schedules)", file=sys.stderr)
         return 2
+    if args.certified and not args.poly:
+        print("error: --certified requires --poly (it certifies "
+              "decision regions)", file=sys.stderr)
+        return 2
     if args.perturb < 0:
         print("error: --perturb must be >= 0", file=sys.stderr)
         return 2
@@ -133,6 +144,7 @@ def run_bench_command(args) -> int:
         use_cache=not args.no_cache,
         compiled=args.compiled,
         poly=args.poly,
+        certified=args.certified,
         perturb=perturb,
         progress=progress,
     )

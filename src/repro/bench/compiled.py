@@ -83,12 +83,18 @@ class CompiledScheduleCache(ResultCache):
 #: (results_dir or "", schedule key) -> CompiledSchedule, LRU-capped.
 _SCHEDULE_MEMO: "OrderedDict[Tuple[str, str], CompiledSchedule]" = \
     OrderedDict()
+#: (results_dir or "", certificate key) -> (certificate or None, error
+#: codes); a ``None`` certificate with codes is a *negative* entry — a
+#: region that failed certification is not re-attempted per cell.
+_CERT_MEMO: "OrderedDict[Tuple[str, str], tuple]" = OrderedDict()
 _MEMO_CAP = 64
 
 
 def clear_schedule_memo() -> None:
-    """Drop the in-process schedule memo (test isolation hook)."""
+    """Drop the in-process schedule and certificate memos (test
+    isolation hook)."""
     _SCHEDULE_MEMO.clear()
+    _CERT_MEMO.clear()
 
 
 def _memo_get(memo_key: Tuple[str, str]) -> Optional[CompiledSchedule]:
@@ -277,6 +283,160 @@ def retime_cell(cs: CompiledSchedule, machine, nbytes: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Region certificates (bench --compiled --poly --certified)
+# ---------------------------------------------------------------------------
+
+
+def certificate_descriptor(payload: dict,
+                           guards: Optional[dict] = None) -> dict:
+    """Cache identity of a region *certificate*: the poly schedule
+    descriptor under the ``repro-symcert/1`` schema tag, so the
+    certificate rides the same content-addressed schedule cache as the
+    schedules it certifies (distinct key, same invalidation
+    discipline)."""
+    from repro.analysis.static.symbolic import SYMCERT_SCHEMA
+
+    desc = schedule_descriptor(payload, poly=True, guards=guards)
+    desc["schema"] = SYMCERT_SCHEMA
+    return desc
+
+
+def _load_certificate(payload: dict, cs: CompiledSchedule) -> tuple:
+    """Memo → disk cache → fresh certification of the cell's decision
+    region.  Returns ``(certificate or None, error codes)``; failed
+    certifications are cached *negatively* (with their ``SA-SYM-*``
+    codes) so a broken region costs one certification attempt per
+    source version, not one per swept size."""
+    from repro.analysis.static.symbolic import (
+        SYMCERT_SCHEMA,
+        SymbolicError,
+        SymbolicSchedule,
+        certify_region,
+    )
+    from repro.machine.spec import PRESETS
+
+    desc = certificate_descriptor(payload, payload.get("guards"))
+    ckey = descriptor_key(desc)
+    memo_key = (payload.get("results_dir") or "", ckey)
+    hit = _CERT_MEMO.get(memo_key)
+    if hit is not None:
+        _CERT_MEMO.move_to_end(memo_key)
+        return hit
+    cache: Optional[CompiledScheduleCache] = None
+    results_dir = payload.get("results_dir")
+    if results_dir:
+        cache = CompiledScheduleCache(Path(results_dir) / "compiled")
+        doc = cache.get(ckey)
+        if doc is not None:
+            entry = None
+            if doc.get("ok") is False:
+                entry = (None, list(doc.get("errors", ())))
+            else:
+                try:
+                    entry = (SymbolicSchedule.from_doc(doc), [])
+                except (SymbolicError, ValueError, KeyError, TypeError):
+                    entry = None  # corrupt/stale entry: re-certify
+            if entry is not None:
+                _memo_put_cert(memo_key, entry)
+                return entry
+    spec = RunnerSpec.from_dict(payload["runner"])
+    base = int(cs.meta.get("s") or payload["nbytes"])
+    sym, report = certify_region(spec, PRESETS[payload["machine"]],
+                                 payload["p"], base)
+    codes = sorted({f.code for f in report.errors})
+    entry = (sym, codes)
+    if cache is not None:
+        doc = sym.to_doc() if sym is not None else {
+            "schema": SYMCERT_SCHEMA, "ok": False, "errors": codes,
+            "case": report.case,
+        }
+        cache.put(ckey, desc, doc)
+    _memo_put_cert(memo_key, entry)
+    return entry
+
+
+def _memo_put_cert(memo_key: Tuple[str, str], entry: tuple) -> None:
+    _CERT_MEMO[memo_key] = entry
+    _CERT_MEMO.move_to_end(memo_key)
+    while len(_CERT_MEMO) > _MEMO_CAP:
+        _CERT_MEMO.popitem(last=False)
+
+
+def certified_cell(cs: CompiledSchedule, machine, cert,
+                   nbytes: int) -> tuple:
+    """Engine-exact certified replay of ``cs`` at ``nbytes``.
+
+    The certificate supplies the *exact* per-op byte footprints and the
+    exact DAV at the replay size (affine evaluation, not
+    ``s_new / s_captured`` scaling).  Durations are still the static
+    timing model's (:func:`repro.sim.compiled.symbolic_durations`) —
+    certification proves the schedule *shape* and byte accounting, not
+    the stateful cache charge.  Cross-checks the certificate against
+    the schedule before trusting it: the certificate evaluated at the
+    captured size must reproduce the schedule's own footprints and
+    engine DAV bitwise.  Raises ``ValueError`` on any mismatch — the
+    caller falls back to plain retiming and reports the failure.
+
+    Returns ``(result dict, per-op durations)``.
+    """
+    import numpy as np
+
+    from repro.obs.counters import Counters
+
+    s0 = int(cs.meta.get("s", 0))
+    if s0 <= 0:
+        raise ValueError("schedule carries no captured size")
+    if not cert.covers(nbytes):
+        raise ValueError(
+            f"certificate does not cover s={nbytes} (requires s ≡ "
+            f"{cert.residue} mod {cert.modulus})")
+    if not cert.lo <= nbytes <= cert.hi:
+        # affinity is only *proven* between the endpoint-checked
+        # anchors — per-op shape can change past them within one guard
+        # region (e.g. a copy crossing the hardware non-temporal
+        # threshold), so extrapolating would be an estimate again
+        raise ValueError(
+            f"size {nbytes} is outside the certified span "
+            f"[{cert.lo}, {cert.hi}]")
+    if cert.compiled_nbytes(s0) != [int(x) for x in cs.nbytes]:
+        raise ValueError(
+            "certificate footprints at the captured size do not match "
+            "the cached schedule")
+    dav0 = cert.dav().at(s0)
+    if int(cs.meta.get("dav", 0)) not in (0, dav0):
+        raise ValueError(
+            f"certificate DAV at the captured size ({dav0}) does not "
+            f"match the engine capture ({cs.meta.get('dav')})")
+    exact = np.asarray(cert.compiled_nbytes(nbytes), dtype=np.int64)
+    from repro.sim.compiled import symbolic_durations
+
+    dur = symbolic_durations(cs, machine, exact)
+    times = [float(t) for t in cs.evaluate(dur=dur).rank_times]
+    factor = nbytes / s0
+    traffic = [
+        {name: int(round(tc[name] * factor)) for name in _TRAFFIC_FIELDS}
+        for tc in (cs.meta.get("traffic") or ())
+    ]
+    counters = Counters.from_machine(times, traffic or None)
+    return {
+        "time": max(times),
+        "dav": cert.dav().at(nbytes),
+        "algorithm": cs.meta.get("algorithm", ""),
+        "counters": counters.snapshot(),
+    }, dur
+
+
+def _cert_summary(cert, nbytes: int) -> dict:
+    """JSON block describing an applied certificate."""
+    return {
+        "span": [cert.lo, cert.hi],
+        "in_span": bool(cert.lo <= nbytes <= cert.hi),
+        "anchors": list(cert.anchors),
+        "dav": cert.dav().describe(),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Worker entry
 # ---------------------------------------------------------------------------
 
@@ -326,13 +486,25 @@ def exec_compiled_cell(payload: dict) -> dict:
     the cache-less case within one process.
 
     ``poly: True`` payloads key the schedule by decision region and
-    re-time on size mismatch; a ``perturb`` block
-    (``{"n", "model", "seed"}``) replays a seeded noise ensemble
-    through the batched evaluator and attaches tail statistics.
+    re-time on size mismatch; ``certified: True`` (with poly) loads or
+    builds the region's symbolic certificate
+    (:func:`repro.analysis.static.symbolic.certify_region`) and, when
+    it verifies against the cached schedule, swaps the scaled DAV and
+    footprints for the certificate's *exact* affine evaluations —
+    uncertifiable regions fall back to plain retiming with their
+    ``SA-SYM-*`` codes in ``poly.cert_errors``, never silently.  A
+    ``perturb`` block (``{"n", "model", "seed"}``) replays a seeded
+    noise ensemble through the batched evaluator and attaches tail
+    statistics.
+
+    ``poly.region`` carries the full content-addressed schedule key —
+    table rendering truncates for display, the JSON never does (a
+    truncated key can collide across regions).
     """
     from repro.machine.spec import PRESETS
 
     poly = bool(payload.get("poly"))
+    certified = poly and bool(payload.get("certified"))
     guards = cell_guards(payload) if poly else None
     if poly:
         payload = dict(payload, guards=guards)
@@ -345,11 +517,31 @@ def exec_compiled_cell(payload: dict) -> dict:
     if retimed:
         dur, _ = retime_durations(cs, machine, payload["nbytes"])
         result = retime_cell(cs, machine, payload["nbytes"])
-        result["poly"] = {"region": key[:12], "retimed": True}
+        result["poly"] = {"region": key, "retimed": True}
     else:
         result = replay_cell(cs)
         if poly:
-            result["poly"] = {"region": key[:12], "retimed": False}
+            result["poly"] = {"region": key, "retimed": False}
+    if certified:
+        cert, codes = _load_certificate(payload, cs)
+        if cert is None:
+            result["poly"]["certified"] = False
+            result["poly"]["cert_errors"] = codes
+        else:
+            try:
+                cres, cdur = certified_cell(cs, machine, cert,
+                                            payload["nbytes"])
+            except ValueError as exc:
+                result["poly"]["certified"] = False
+                result["poly"]["cert_errors"] = [str(exc)]
+            else:
+                if retimed:
+                    # swap the scaled estimate for the exact evaluation
+                    cres["poly"] = dict(result["poly"])
+                    result, dur = cres, cdur
+                result["poly"]["certified"] = True
+                result["poly"]["cert"] = _cert_summary(
+                    cert, payload["nbytes"])
     pb = payload.get("perturb")
     if pb:
         import hashlib

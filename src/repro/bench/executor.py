@@ -82,7 +82,7 @@ def exec_payload(payload: dict) -> dict:
 
 
 def cell_descriptor(cell: dict, *, compiled: bool = False,
-                    poly: bool = False,
+                    poly: bool = False, certified: bool = False,
                     perturb: Optional[dict] = None) -> dict:
     """The cache identity of a sweep cell: full machine spec, runner
     spec, geometry and the repro source version.
@@ -93,9 +93,11 @@ def cell_descriptor(cell: dict, *, compiled: bool = False,
     by construction, but sharing entries would let a cached coroutine
     result mask a compiled-path regression.  Size-polymorphic replay
     keys as ``engine: "compiled-poly"`` — a re-timed result is a model
-    estimate and must never be served where an exact one is expected.
-    A perturbation config changes the result content (tail statistics
-    ride along), so it is part of the identity too.
+    estimate and must never be served where an exact one is expected —
+    and the certified path as ``engine: "compiled-poly-certified"``
+    (its DAV/footprints come from region certificates, a different
+    result).  A perturbation config changes the result content (tail
+    statistics ride along), so it is part of the identity too.
     """
     from repro.machine.spec import PRESETS
 
@@ -109,7 +111,8 @@ def cell_descriptor(cell: dict, *, compiled: bool = False,
         "runner": cell["runner"],
     }
     if compiled:
-        desc["engine"] = "compiled-poly" if poly else "compiled"
+        desc["engine"] = ("compiled-poly-certified" if poly and certified
+                          else "compiled-poly" if poly else "compiled")
         if perturb:
             desc["perturb"] = dict(perturb)
     return desc
@@ -193,7 +196,8 @@ def _drain(work: "list[_Work]", cache: Optional[ResultCache],
 
 
 def _sweep_work(spec: SweepSpec, *, compiled: bool = False,
-                poly: bool = False, perturb: Optional[dict] = None,
+                poly: bool = False, certified: bool = False,
+                perturb: Optional[dict] = None,
                 results_dir: Optional[Path] = None) -> "list[_Work]":
     out = []
     for cell in spec.cells():
@@ -208,12 +212,15 @@ def _sweep_work(spec: SweepSpec, *, compiled: bool = False,
             payload["compiled"] = True
             if poly:
                 payload["poly"] = True
+                if certified:
+                    payload["certified"] = True
             if perturb:
                 payload["perturb"] = dict(perturb)
             if results_dir is not None:
                 payload["results_dir"] = str(results_dir)
         out.append(_Work(payload, cell_descriptor(
-            cell, compiled=compiled, poly=poly, perturb=perturb)))
+            cell, compiled=compiled, poly=poly, certified=certified,
+            perturb=perturb)))
     return out
 
 
@@ -222,6 +229,8 @@ def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
                        baseline=spec.baseline)
     regions = set()
     retimed = 0
+    certified = 0
+    uncertified = 0
     for cell, w in zip(spec.cells(), work):
         # .get: cache entries written before the counter schema lack
         # the key (source_version() normally invalidates them, but a
@@ -234,10 +243,17 @@ def _sweep_table(spec: SweepSpec, work: "list[_Work]") -> SweepTable:
         if poly:
             regions.add(poly["region"])
             retimed += bool(poly.get("retimed"))
+            if "certified" in poly:
+                certified += bool(poly["certified"])
+                uncertified += not poly["certified"]
     if regions:
-        table.notes.append(
-            f"size-poly: {len(work)} cells from {len(regions)} "
-            f"decision regions ({retimed} model-retimed)")
+        note = (f"size-poly: {len(work)} cells from {len(regions)} "
+                f"decision regions ({retimed} model-retimed)")
+        if certified or uncertified:
+            note += (f"; {certified} certified"
+                     + (f", {uncertified} NOT certified (see "
+                        "poly.cert_errors)" if uncertified else ""))
+        table.notes.append(note)
     return table
 
 
@@ -246,6 +262,7 @@ def run_sweep_table(spec: SweepSpec, *,
                     pool: Optional[ProcessPoolExecutor] = None,
                     compiled: bool = False,
                     poly: bool = False,
+                    certified: bool = False,
                     perturb: Optional[dict] = None,
                     results_dir: Optional[Path] = None) -> SweepTable:
     """Execute one sweep (serial and uncached unless given otherwise).
@@ -255,11 +272,15 @@ def run_sweep_table(spec: SweepSpec, *,
     ``compiled=True`` replays lowered schedules instead of executing
     the coroutine engine (persisted under ``results_dir`` when given);
     ``poly=True`` shares schedules across sizes per decision region,
-    and ``perturb`` (``{"n", "model", "seed"}``) attaches tail
-    statistics from a seeded noise ensemble to every cell.
+    ``certified=True`` additionally proves each region's schedule
+    shape with a symbolic certificate and replays with engine-exact
+    DAV/footprints, and ``perturb`` (``{"n", "model", "seed"}``)
+    attaches tail statistics from a seeded noise ensemble to every
+    cell.
     """
     work = _sweep_work(spec, compiled=compiled, poly=poly,
-                       perturb=perturb, results_dir=results_dir)
+                       certified=certified, perturb=perturb,
+                       results_dir=results_dir)
     _drain(work, cache, pool)
     return _sweep_table(spec, work)
 
@@ -270,13 +291,14 @@ def run_benchmark(bench: Benchmark, *,
                   pool: Optional[ProcessPoolExecutor] = None,
                   compiled: bool = False,
                   poly: bool = False,
+                  certified: bool = False,
                   perturb: Optional[dict] = None,
                   results_dir: Optional[Path] = None) -> BenchResult:
     """Execute one benchmark through the cache/pool machinery.
 
-    ``compiled`` / ``poly`` / ``perturb`` apply to declarative sweep
-    cells only: custom benchmark functions drive the engine themselves
-    and always run the coroutine path.
+    ``compiled`` / ``poly`` / ``certified`` / ``perturb`` apply to
+    declarative sweep cells only: custom benchmark functions drive the
+    engine themselves and always run the coroutine path.
     """
     result = BenchResult(name=bench.name)
     if bench.custom:
@@ -295,7 +317,8 @@ def run_benchmark(bench: Benchmark, *,
         result.custom_payload = work[0].result["payload"]
         return result
     all_work = [_sweep_work(s, compiled=compiled, poly=poly,
-                            perturb=perturb, results_dir=results_dir)
+                            certified=certified, perturb=perturb,
+                            results_dir=results_dir)
                 for s in bench.sweeps]
     flat = [w for ws in all_work for w in ws]
     _drain(flat, cache, pool)
@@ -313,6 +336,7 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
               write_json: bool = True,
               compiled: bool = False,
               poly: bool = False,
+              certified: bool = False,
               perturb: Optional[dict] = None,
               progress=None):
     """Run a set of benchmarks; write per-benchmark JSON documents and
@@ -324,7 +348,9 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
     lowered schedules persist under ``<results_dir>/compiled/`` even
     when the result cache is disabled.  ``poly`` keys schedules by
     decision region (one capture serves every size whose adaptive
-    decisions agree); ``perturb`` attaches seeded tail statistics.
+    decisions agree); ``certified`` proves each region with a symbolic
+    certificate for engine-exact DAV/footprints; ``perturb`` attaches
+    seeded tail statistics.
     """
     from repro.bench.discover import benchmarks_dir, default_results_dir
     from repro.bench.jsonio import write_json as _write
@@ -347,7 +373,8 @@ def run_suite(benchmarks: "Dict[str, Benchmark]", *,
                 progress(f"[bench] {name} ...")
             res = run_benchmark(bench, bench_dir=bench_dir, cache=cache,
                                 pool=pool, compiled=compiled, poly=poly,
-                                perturb=perturb, results_dir=results_dir)
+                                certified=certified, perturb=perturb,
+                                results_dir=results_dir)
             doc = res.doc()
             docs.append(doc)
             if write_json:

@@ -21,7 +21,11 @@ quarter-gigabyte messages — traffic totals are unaffected.
 
 The two-level (socket-aware) DPML variant used by YHCCL's small-message
 switch (Section 5.1) reduces within sockets first, halving the shared
-traffic that crosses the NUMA boundary.
+traffic that crosses the NUMA boundary.  Its count (the ``dpml2`` row
+in ``models.dav``) collapses to the flat ``s(7p - 3)`` when every
+socket holds at least two ranks, but diverges for singleton sockets,
+which copy their full buffer instead of reducing — e.g. ``15s`` at
+``p = 2`` spread over two sockets.
 """
 
 from __future__ import annotations

@@ -190,7 +190,7 @@ class YHCCL:
         from repro.library.mpi import ALGORITHMS
         for name, kinds in ALGORITHMS.items():
             if name != "pipelined" and kinds.get(kind) is sel.algorithm:
-                ir.meta["dav_algorithm"] = "dpml" if name == "dpml2" else name
+                ir.meta["dav_algorithm"] = name
                 ir.meta["k"] = int(getattr(sel.algorithm, "branch", 2))
                 break
         return run_passes(ir)

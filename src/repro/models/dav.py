@@ -91,6 +91,20 @@ def dav_allreduce(algorithm: str, s: int, p: int, *, m: int = 2, k: int = 2,
         return base if paper else base + 4.0 * s
     if algorithm == "dpml":
         return s * (7.0 * p - 1.0) if paper else s * (7.0 * p - 3.0)
+    if algorithm == "dpml2":
+        # two-level socket-aware DPML (YHCCL's small-message switch):
+        # full copy-in/out like DPML, a partitioned reduction inside
+        # each socket, and an (m-1)-way cross-socket combine.  Ranks
+        # follow the compact binding's ceil split of p over m sockets;
+        # a singleton socket copies its full buffer instead of
+        # reducing, so the count only coincides with the flat dpml
+        # row (7p - 3) when every socket holds at least two ranks.
+        per = -(-p // m)
+        sizes = [min(per, p - i * per) for i in range(m) if p - i * per > 0]
+        level1 = sum(3.0 * s * (g - 1) if g > 1 else 2.0 * s
+                     for g in sizes)
+        level2 = 3.0 * s * (len(sizes) - 1) if len(sizes) > 1 else 2.0 * s
+        return 2.0 * s * p + level1 + level2 + 2.0 * s * p
     if algorithm == "rg":
         total = _rg_tree_dav(s, p, k, paper)
         return total + 2.0 * s * p

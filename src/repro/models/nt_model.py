@@ -21,6 +21,12 @@ from typing import Optional
 
 from repro.machine.spec import MachineSpec, available_cache_capacity
 
+#: every collective kind the decision models cover; anything else is a
+#: caller bug and raises ``KeyError`` naming this list (mirroring the
+#: timing model's ``_SYNC_STEPS`` discipline)
+KNOWN_KINDS = ("allgather", "allreduce", "bcast", "reduce",
+               "reduce_scatter")
+
 
 def work_set_size(kind: str, s: int, p: int, *, m: int = 2,
                   imax: int = 256 * 1024) -> int:
@@ -51,6 +57,101 @@ def uses_nt_store(kind: str, s: int, machine: MachineSpec, p: int, *,
     c = available_cache_capacity(machine, p)
     m = machine.sockets
     return work_set_size(kind, s, p, m=m, imax=imax) > c
+
+
+def _socket_group_sizes(p: int, machine: MachineSpec) -> list:
+    """Distinct non-empty per-socket rank-group sizes at rank count
+    ``p`` — the group sizes the socket-aware level-1 pipelines run
+    over (:func:`repro.collectives.socket_aware.socket_groups`)."""
+    return sorted({
+        len(machine.ranks_on_socket(p, sock))
+        for sock in range(machine.sockets)
+        if machine.ranks_on_socket(p, sock)
+    })
+
+
+def shape_atoms(kind: str, s: int, p: int, machine: MachineSpec, *,
+                imax: int, small_threshold: Optional[int] = None) -> dict:
+    """Exact schedule-*shape* drivers of one cell, as a JSON-safe dict.
+
+    The scalar guard atoms (``slices``, ``blocks8k``) approximate the
+    library's slicing with the global rank count, but the algorithms
+    slice at several granularities — the socket-aware level-1 pipeline
+    chops each socket's partition with ``compute_slice_size(s,
+    p_socket)``, the pipelined bcast/allgather stage over
+    ``min(imax, s)`` slices, and DPML blocks each phase's lengths at
+    8 KB (clamped to ``MAX_BLOCKS``).  Two sizes whose *counts* differ
+    at any granularity execute differently-shaped DAGs even when every
+    scalar atom agrees, which is exactly the unsoundness the symbolic
+    certifier (:mod:`repro.analysis.static.symbolic`) would flag as a
+    shape-unification failure.  These atoms pin every such count, so a
+    decision region really is shape-invariant.
+    """
+    from repro.collectives.common import (
+        IMIN_DEFAULT,
+        compute_slice_size,
+        partition,
+        subslices,
+    )
+    from repro.collectives.dpml import MAX_BLOCKS, REDUCE_BLOCK
+    from repro.collectives.switching import SMALL_THRESHOLD
+
+    thr = SMALL_THRESHOLD if small_threshold is None else small_threshold
+    atoms: dict = {}
+    if s <= 0:
+        return atoms
+    if kind in ("bcast", "allgather"):
+        # pipelined algorithms: double-buffered stages over
+        # align8(min(imax, s)) slices of the whole message
+        i = -(-min(imax, max(s, 8)) // 8) * 8
+        atoms["stages"] = len(subslices(0, s, i))
+        return atoms
+
+    def rounds(g: int) -> list:
+        i = compute_slice_size(s, g, imax, IMIN_DEFAULT)
+        return sorted({len(subslices(off, ln, i))
+                       for off, ln in partition(s, g)})
+
+    def dpml_blocks(length: int) -> int:
+        block = max(REDUCE_BLOCK, -(-length // MAX_BLOCKS))
+        return len(subslices(0, length, -(-block // 8) * 8))
+
+    if s <= thr:
+        # DPML regime: 8 KB reduction blocks over the phase lengths —
+        # the whole message (copy-in), the global partitions (phase 2 /
+        # level 2) and the per-socket partitions (two-level level 1b)
+        lengths = {s} | {ln for _, ln in partition(s, p)}
+        for g in _socket_group_sizes(p, machine):
+            lengths |= {ln for _, ln in partition(s, g)}
+        atoms["blocks"] = sorted({dpml_blocks(ln) for ln in lengths if ln})
+    else:
+        # MA regime: per-part sub-slice counts at every pipeline
+        # granularity — global (plain MA, level 2, copy-out) and
+        # per-socket (socket-aware level 1)
+        for g in sorted({p} | set(_socket_group_sizes(p, machine))):
+            atoms[f"rounds{g}"] = rounds(g)
+    return atoms
+
+
+def region_modulus(p: int, machine: MachineSpec) -> int:
+    """The size step that preserves footprint affinity inside a
+    decision region.
+
+    Partition offsets and lengths are piecewise-affine in ``s`` with
+    breakpoints at every residue change of ``s`` modulo the 8-byte
+    partition alignment times the group size, and DPML's proportional
+    block regime (``ceil(length / MAX_BLOCKS)`` re-aligned to 8) adds
+    a factor-16 grain on each length.  ``128 * lcm(p, socket group
+    sizes)`` clears all of them: two guard-equal sizes congruent
+    modulo this value have footprints that are *exactly* affine in
+    ``s`` — the invariant symbolic certification builds on.
+    """
+    from math import gcd
+
+    m = p
+    for g in _socket_group_sizes(p, machine):
+        m = m * g // gcd(m, g)
+    return 128 * m
 
 
 def decision_guards(kind: str, s: int, p: int, machine: MachineSpec, *,
@@ -84,12 +185,26 @@ def decision_guards(kind: str, s: int, p: int, machine: MachineSpec, *,
       small-regime (DPML) op structure;
     * ``streams`` — whether a per-rank block streams through the
       retained per-socket cache
-      (:func:`repro.machine.cache.streams_through`).
+      (:func:`repro.machine.cache.streams_through`);
+    * ``shape`` — the exact slicing structure at every granularity the
+      algorithms pipeline over (:func:`shape_atoms`): per-socket and
+      global sub-slice counts, pipelined stage counts, DPML block
+      counts.  These close the gap between "same scalar guards" and
+      "same DAG shape" that symbolic region certification proves.
+
+    Unknown ``kind`` values raise ``KeyError`` naming
+    :data:`KNOWN_KINDS` — a guard dict for an unmodeled collective
+    would silently merge distinct schedules into one region.
     """
     from repro.collectives.switching import SMALL_THRESHOLD
     from repro.machine.cache import streams_through
     from repro.machine.memory import MemorySystem
 
+    if kind not in KNOWN_KINDS:
+        raise KeyError(
+            f"unknown collective kind {kind!r}; decision guards cover: "
+            f"{', '.join(KNOWN_KINDS)}"
+        )
     if imax <= 0:
         raise ValueError(f"imax must be positive, got {imax}")
     thr = SMALL_THRESHOLD if small_threshold is None else small_threshold
@@ -97,10 +212,7 @@ def decision_guards(kind: str, s: int, p: int, machine: MachineSpec, *,
     slices = -(-block // imax) if block else 0
     nt: Optional[bool] = None
     if policy == "adaptive":
-        try:
-            nt = uses_nt_store(kind, s, machine, p, imax=imax)
-        except ValueError:
-            nt = None  # no work-set formula for this kind
+        nt = uses_nt_store(kind, s, machine, p, imax=imax)
     small = s <= thr
     retained = int(MemorySystem.CACHE_RETENTION
                    * machine.socket.effective_cache_capacity)
@@ -116,6 +228,8 @@ def decision_guards(kind: str, s: int, p: int, machine: MachineSpec, *,
         "tail_slice": bool(block % slices) if slices else False,
         "blocks8k": -(-block // 8192) if small and block else 0,
         "streams": streams_through(block, retained),
+        "shape": shape_atoms(kind, s, p, machine, imax=imax,
+                             small_threshold=thr),
     }
 
 

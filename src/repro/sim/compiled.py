@@ -426,6 +426,45 @@ class CompiledSchedule:
         return dur
 
 
+def symbolic_durations(cs: "CompiledSchedule", machine,
+                       nbytes) -> np.ndarray:
+    """Model durations from *certified* symbolic per-op footprints.
+
+    The symbolic lowering hook of the certified poly path
+    (``bench --compiled --poly --certified``): ``nbytes`` is the exact
+    per-op byte vector a region certificate
+    (:class:`repro.analysis.static.symbolic.SymbolicSchedule`) evaluated
+    at the replay size, in compiled (toposort) op order.  Unlike the
+    plain retiming path — which *scales* the captured footprints by
+    ``s_new / s_captured`` — these are engine-exact integers, so the
+    only remaining approximation is the duration model itself.
+
+    Validates the vector against the captured schedule before use:
+    shape match, non-negative entries, and an identical zero pattern
+    (an op that moved no bytes at capture time must move none at any
+    size in a shape-invariant region, and vice versa).  A mismatch
+    means the certificate does not describe this schedule — raise
+    rather than silently retime with wrong footprints.
+    """
+    arr = np.asarray(nbytes, dtype=np.int64)
+    if arr.shape != cs.nbytes.shape:
+        raise ValueError(
+            f"certified nbytes has {arr.shape[0] if arr.ndim else 0} "
+            f"entries, schedule has {len(cs)} ops"
+        )
+    if (arr < 0).any():
+        raise ValueError("certified nbytes must be non-negative")
+    if ((arr == 0) != (cs.nbytes == 0)).any():
+        bad = int(np.nonzero((arr == 0) != (cs.nbytes == 0))[0][0])
+        raise ValueError(
+            f"certified nbytes zero pattern differs from the captured "
+            f"schedule at op {bad} (captured {int(cs.nbytes[bad])} B, "
+            f"certified {int(arr[bad])} B): certificate does not "
+            "describe this schedule"
+        )
+    return cs.model_durations(machine, nbytes=arr)
+
+
 # ---------------------------------------------------------------------------
 # Lowering
 # ---------------------------------------------------------------------------

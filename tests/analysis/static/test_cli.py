@@ -67,6 +67,49 @@ class TestLintCLI:
         assert "unknown collective" in err
 
 
+class TestCertifyRegionsCLI:
+    def test_unknown_kind_exit_two(self, capsys):
+        rc = main(["lint", "nosuch", "--certify-regions"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown collective kind" in err
+        assert "allreduce" in err  # names the known kinds
+
+    def test_machine_none_exit_two(self, capsys):
+        rc = main(["lint", "all", "--certify-regions",
+                   "--machine", "none"])
+        assert rc == 2
+        assert "machine preset" in capsys.readouterr().err
+
+    def test_bad_p_list_exit_two(self, capsys):
+        rc = main(["lint", "all", "--certify-regions",
+                   "--certify-p", "two"])
+        assert rc == 2
+
+    def test_one_kind_json_certifies(self, capsys, monkeypatch):
+        # pin a tiny sweep so the CLI test stays fast; the CI
+        # certify-regions step runs the real default matrix
+        import repro.analysis.static.symbolic as symbolic
+
+        real = symbolic.certify_matrix
+
+        def small(machine, **kw):
+            kw["sweep"] = {"bcast": [8192, 16384]}
+            kw["ps"] = (2,)
+            return real(machine, **kw)
+
+        monkeypatch.setattr(symbolic, "certify_matrix", small)
+        rc = main(["lint", "bcast", "--certify-regions", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        codes = {f["code"] for c in doc["cases"] for f in c["findings"]}
+        assert "SA-SYM-GUARD-OK" in codes
+        assert "SA-SYM-EXACT-OK" in codes
+        assert "SA-SYM-DAV-OK" in codes or "SA-SYM-DAV-SKIP" in codes
+        assert "SA-SYM-BOUNDS-OK" in codes
+
+
 class TestAnalyzeJson:
     def test_findings_on_stdout_progress_on_stderr(self, capsys):
         rc = main(["analyze", "ma", "-n", "4", "-s", "2048", "--json"])

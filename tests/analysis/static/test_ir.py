@@ -6,9 +6,11 @@ import pytest
 
 from repro.analysis.static.ir import (
     IR_SCHEMA,
+    SUPPORTED_IR_SCHEMAS,
     BufferInfo,
     Edge,
     Footprint,
+    IRSchemaError,
     IRValidationError,
     OpNode,
     ScheduleIR,
@@ -148,3 +150,29 @@ class TestSerialization:
 
     def test_schema_tag_present(self):
         assert json.loads(ir_to_json(_diamond()))["schema"] == IR_SCHEMA
+
+
+class TestSchemaGuard:
+    """``lint --ir-out`` round-trip discipline: loading an exported IR
+    goes through a schema-version guard (``IRSchemaError``, mirroring
+    the compiled evaluator's ``ScheduleSchemaError``)."""
+
+    def test_corrupted_file_raises_schema_error(self):
+        with pytest.raises(IRSchemaError, match="not valid JSON"):
+            ir_from_json("{truncated...")
+
+    def test_non_object_payload_raises_schema_error(self):
+        with pytest.raises(IRSchemaError, match="JSON object"):
+            ir_from_json("[1, 2, 3]")
+
+    def test_future_version_raises_naming_supported(self):
+        payload = json.loads(ir_to_json(_diamond()))
+        payload["schema"] = "repro-ir/99"
+        with pytest.raises(IRSchemaError) as exc:
+            ir_from_json(json.dumps(payload))
+        for schema in SUPPORTED_IR_SCHEMAS:
+            assert schema in str(exc.value)
+
+    def test_schema_error_is_a_value_error(self):
+        # pre-existing except ValueError handlers must keep catching it
+        assert issubclass(IRSchemaError, ValueError)

@@ -198,9 +198,10 @@ class TestSizePolymorphic:
             dict(cell, type="cell", compiled=True, poly=True,
                  results_dir=str(tmp_path)))
         out.pop("captured", None)
+        # the full content-addressed key, never a truncation (a
+        # truncated key can collide across regions)
         assert out.pop("poly") == {
-            "region": descriptor_key(
-                schedule_descriptor(cell, poly=True))[:12],
+            "region": descriptor_key(schedule_descriptor(cell, poly=True)),
             "retimed": False,
         }
         assert out == ref
@@ -215,6 +216,125 @@ class TestSizePolymorphic:
         assert b["poly"]["retimed"] is True
         assert b["dav"] == round(a["dav"] * 1.5)
         assert b["time"] > 0
+
+
+class TestCertifiedPoly:
+    """``--compiled --poly --certified``: region certificates make
+    retimed cells engine-exact in DAV/footprints."""
+
+    KB = 1024
+
+    def _cert_cell(self, nbytes, **over):
+        # small sizes: certification captures five engine runs
+        return dict(_cell(p=2, nbytes=nbytes), type="cell",
+                    compiled=True, poly=True, certified=True, **over)
+
+    def test_retimed_cell_gets_engine_exact_dav(self, tmp_path):
+        from repro.bench.executor import exec_payload
+
+        base = self._cert_cell(8 * self.KB, results_dir=str(tmp_path))
+        exec_compiled_cell(base)
+        # 7936 = 8192 - 256 (the p=2 region modulus): same region
+        # (8448 would cross the 8 KB DPML block boundary), different
+        # size -> retimed, and certification makes the DAV exact
+        # rather than round(8192-dav * 7936/8192)
+        out = exec_compiled_cell(
+            self._cert_cell(7936, results_dir=str(tmp_path)))
+        assert out["poly"]["retimed"] is True
+        assert out["poly"]["certified"] is True
+        assert out["poly"]["cert"]["dav"].endswith("*s")
+        ref = exec_payload(dict(_cell(p=2, nbytes=7936), type="cell"))
+        assert out["dav"] == ref["dav"]
+
+    def test_exact_replay_annotated_not_changed(self, tmp_path):
+        from repro.bench.executor import exec_payload
+
+        cell = self._cert_cell(8 * self.KB, results_dir=str(tmp_path))
+        out = exec_compiled_cell(cell)
+        assert out["poly"]["retimed"] is False
+        assert out["poly"]["certified"] is True
+        ref = exec_payload(dict(_cell(p=2, nbytes=8 * self.KB),
+                                type="cell"))
+        out.pop("captured", None)
+        out.pop("poly")
+        assert out == ref  # bitwise replay untouched by the cert
+
+    def test_certificate_cached_and_memoized(self, tmp_path,
+                                             monkeypatch):
+        import repro.analysis.static.symbolic as symbolic
+
+        calls = []
+        real = symbolic.certify_region
+
+        def counting(*a, **kw):
+            calls.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(symbolic, "certify_region", counting)
+        exec_compiled_cell(
+            self._cert_cell(8 * self.KB, results_dir=str(tmp_path)))
+        exec_compiled_cell(
+            self._cert_cell(7936, results_dir=str(tmp_path)))
+        assert len(calls) == 1, "one certification per region"
+        # a fresh process (memo dropped) reads the cert from disk
+        clear_schedule_memo()
+        exec_compiled_cell(
+            self._cert_cell(7936, results_dir=str(tmp_path)))
+        assert len(calls) == 1
+
+    def test_uncertifiable_region_reports_never_silent(self, tmp_path,
+                                                       monkeypatch):
+        import repro.analysis.static.symbolic as symbolic
+        from repro.analysis.static.report import Finding, Report
+
+        def failing(spec, machine, p, base, **kw):
+            report = Report(case="forced failure")
+            report.extend("sym-certify", [Finding(
+                code="SA-SYM-SHAPE", severity="error",
+                message="forced", pass_name="sym-certify",
+                case="forced failure")])
+            return None, report
+
+        monkeypatch.setattr(symbolic, "certify_region", failing)
+        out = exec_compiled_cell(
+            self._cert_cell(7936, results_dir=str(tmp_path)))
+        assert out["poly"]["certified"] is False
+        assert out["poly"]["cert_errors"] == ["SA-SYM-SHAPE"]
+        assert out["time"] > 0  # fell back to plain retiming
+
+    def test_outside_certified_span_refuses(self, tmp_path,
+                                            monkeypatch):
+        # affinity is only proven between the endpoint-checked anchors
+        # (per-op shape can flip past them, e.g. at the non-temporal
+        # threshold), so a retime beyond the span must fall back to
+        # model retiming and say why — never extrapolate
+        import repro.bench.compiled as bc
+
+        real = bc._load_certificate
+
+        def narrowed(payload, cs):
+            cert, codes = real(payload, cs)
+            if cert is not None:
+                cert.lo = cert.hi = 8 * self.KB  # shrink to the base
+            return cert, codes
+
+        monkeypatch.setattr(bc, "_load_certificate", narrowed)
+        exec_compiled_cell(
+            self._cert_cell(8 * self.KB, results_dir=str(tmp_path)))
+        out = exec_compiled_cell(
+            self._cert_cell(7936, results_dir=str(tmp_path)))
+        assert out["poly"]["retimed"] is True
+        assert out["poly"]["certified"] is False
+        assert any("outside the certified span" in e
+                   for e in out["poly"]["cert_errors"])
+        assert out["time"] > 0
+
+    def test_certified_results_key_separately(self):
+        cell = _cell()
+        assert descriptor_key(
+            cell_descriptor(cell, compiled=True, poly=True)) != \
+            descriptor_key(cell_descriptor(cell, compiled=True,
+                                           poly=True, certified=True))
 
 
 class TestScheduleMemo:

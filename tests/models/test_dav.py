@@ -5,7 +5,12 @@ every (collective, algorithm) pair — the central fidelity check."""
 import pytest
 
 from repro.collectives.common import run_reduce_collective
-from repro.collectives.dpml import DPML_ALLREDUCE, DPML_REDUCE, DPML_REDUCE_SCATTER
+from repro.collectives.dpml import (
+    DPML2_ALLREDUCE,
+    DPML_ALLREDUCE,
+    DPML_REDUCE,
+    DPML_REDUCE_SCATTER,
+)
 from repro.collectives.ma import MA_ALLREDUCE, MA_REDUCE, MA_REDUCE_SCATTER
 from repro.collectives.rabenseifner import (
     RABENSEIFNER_ALLREDUCE,
@@ -53,6 +58,21 @@ class TestPaperTableRows:
         assert dav_allreduce("socket-ma", S, P, m=2) == S * (5 * P + 1)
         assert dav_allreduce("xpmem", S, P) == 5 * S * 63
 
+    def test_two_level_dpml2_allreduce(self):
+        # both sockets hold >= 2 ranks: collapses to the flat dpml
+        # count s(7p - 3)
+        assert dav_allreduce("dpml2", S, 8, m=2) == S * (7 * 8 - 3)
+        assert dav_allreduce("dpml2", S, 64, m=2) == S * (7 * 64 - 3)
+        # singleton sockets copy (2s) instead of reducing, so small p
+        # diverges: p=2 over two sockets is 4s in + 2*2s level-1 +
+        # 3s combine + 4s out = 15s, not 11s
+        assert dav_allreduce("dpml2", S, 2, m=2) == 15 * S
+        # odd p: compact ceil split is [2, 1] -> 12s + (3s + 2s) + 3s
+        assert dav_allreduce("dpml2", S, 3, m=2) == 20 * S
+        # one socket: no cross-socket combine, just the level-2 copy
+        # (8s in + 3s*3 level-1 + 2s copy + 8s out)
+        assert dav_allreduce("dpml2", S, 4, m=1) == 27 * S
+
     def test_table3_reduce(self):
         assert dav_reduce("dpml", S, P) == S * (5 * P + 1)
         assert dav_reduce("ma", S, P) == S * (3 * P + 1)
@@ -95,6 +115,7 @@ CASES = [
     ("allreduce", "rabenseifner", RABENSEIFNER_ALLREDUCE, {}),
     ("reduce_scatter", "dpml", DPML_REDUCE_SCATTER, {}),
     ("allreduce", "dpml", DPML_ALLREDUCE, {}),
+    ("allreduce", "dpml2", DPML2_ALLREDUCE, {}),
     ("reduce", "dpml", DPML_REDUCE, {}),
     ("allreduce", "rg", RGAllreduce(branch=2, slice_size=4 * KB), {}),
     ("reduce", "rg", RGReduce(branch=2, slice_size=4 * KB), {}),

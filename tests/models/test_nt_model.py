@@ -4,7 +4,10 @@ import pytest
 
 from repro.machine.spec import NODE_A, NODE_B, KB, MB
 from repro.models.nt_model import (
+    KNOWN_KINDS,
+    decision_guards,
     nt_switch_message_size,
+    region_modulus,
     uses_nt_store,
     work_set_size,
 )
@@ -58,3 +61,31 @@ class TestSwitchPoints:
         # tiny cache machines may always use NT, never a negative size
         assert nt_switch_message_size("allgather", NODE_B, 48,
                                       imax=4 * MB) == 0.0
+
+
+class TestDecisionGuards:
+    def test_unknown_kind_raises_keyerror_naming_known_kinds(self):
+        # an unmodeled collective must fail loudly, not silently merge
+        # distinct schedules into one region (same discipline as the
+        # timing model's _SYNC_STEPS)
+        with pytest.raises(KeyError, match="alltoall") as exc:
+            decision_guards("alltoall", 64 * KB, 4, NODE_A,
+                            imax=256 * KB)
+        for kind in KNOWN_KINDS:
+            assert kind in str(exc.value)
+
+    def test_every_known_kind_is_guarded(self):
+        for kind in KNOWN_KINDS:
+            g = decision_guards(kind, 64 * KB, 4, NODE_A, imax=256 * KB)
+            assert g["kind"] == kind
+            assert "shape" in g and "nt" in g and "regime" in g
+
+    def test_bad_imax_rejected(self):
+        with pytest.raises(ValueError, match="imax"):
+            decision_guards("allreduce", 64 * KB, 4, NODE_A, imax=0)
+
+    def test_region_modulus_clears_all_partition_grains(self):
+        # 128 * lcm(p, per-socket group sizes): NodeA p=4 has 2 ranks
+        # per socket -> lcm(4, 2) = 4 -> 512; p=2 -> lcm(2, 1) = 2
+        assert region_modulus(4, NODE_A) == 512
+        assert region_modulus(2, NODE_A) == 256
