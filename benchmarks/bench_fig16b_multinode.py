@@ -5,37 +5,51 @@ inter-node ring, intra-node all-gather) vs leader-based vendor
 hierarchies.  Paper shape: 1.4-8.8x speedup on large messages; on small
 messages the tree-based MVAPICH2 / OMPI-hcoll win (log-depth network
 phase vs the ring's 2(N-1) steps).
+
+Declarative hierarchy-family sweep: every implementation is a composed
+two-level hierarchy from :mod:`repro.library.hierarchy`; each cell's
+``counters`` carries the ``repro-hier/1`` per-level breakdown, and the
+cells parallelize, cache and replay under ``bench --compiled`` like any
+other sweep (one leaf capture per size serves every node count).
+
+Deltas vs the pre-hierarchy custom figure (see ``docs/multinode.md``):
+bench cells run leaves at the suite's warm-up+measure discipline, the
+allgather partition is ceil-divided, the hcoll tree-vs-ring probe no
+longer double-counts traffic, and the pipelined path pays per-chunk
+ring latency.
 """
 
-import pytest
-
-from repro.library.multinode import MultiNodeAllreduce
-from repro.machine.spec import KB, MB, NODE_A
-
-from repro.bench import Benchmark
-
-from harness import RESULTS_DIR, SIZES_WIDE, SweepTable, fresh_comm
-
-BENCH = Benchmark(name="fig16b_multinode", custom="run_figure")
+from repro.bench import Benchmark, SweepSpec, hierarchy_spec
+from repro.bench.executor import run_sweep_table
+from repro.bench.sizes import SIZES_WIDE
+from repro.machine.spec import KB, MB
 
 NNODES = 16
 IMPLS = ["YHCCL", "Intel MPI", "MVAPICH2", "MPICH", "OMPI-hcoll"]
-SIZES = SIZES_WIDE
+SIZES = tuple(SIZES_WIDE)
+
+BENCH = Benchmark(
+    name="fig16b_multinode",
+    sweeps=(
+        SweepSpec(
+            name="fig16b_multinode",
+            title=f"Figure 16b: multi-node all-reduce "
+                  f"({NNODES} NodeA nodes, 1024 processes)",
+            machine="NodeA",
+            p=64,
+            sizes=SIZES,
+            impls=tuple(
+                (impl, hierarchy_spec(impl, nnodes=NNODES))
+                for impl in IMPLS
+            ),
+            baseline="YHCCL",
+        ),
+    ),
+)
 
 
 def run_figure():
-    table = SweepTable(
-        title=f"Figure 16b: multi-node all-reduce "
-        f"({NNODES} NodeA nodes, 1024 processes)",
-        sizes=SIZES,
-        baseline="YHCCL",
-    )
-    for impl in IMPLS:
-        for s in SIZES:
-            comm = fresh_comm(NODE_A, 64)
-            mn = MultiNodeAllreduce(comm, NNODES, implementation=impl)
-            table.add(impl, s, mn.allreduce(s).time)
-    return table
+    return run_sweep_table(BENCH.sweep("fig16b_multinode"))
 
 
 def test_fig16b(benchmark):
@@ -50,3 +64,13 @@ def test_fig16b(benchmark):
         table.assert_wins("YHCCL", impl, at_least=large)
     # trees win on small messages across many nodes
     assert table.time("OMPI-hcoll", 16 * KB) < table.time("YHCCL", 16 * KB)
+    # every cell carries the per-level breakdown, and the per-level
+    # traffic counters roll up exactly to the document's network totals
+    for impl in IMPLS:
+        for s in SIZES:
+            doc = table.counters[impl][s]
+            assert doc["schema"] == "repro-hier/1", (impl, s)
+            assert doc["network"]["bytes_sent"] == sum(
+                lv["bytes_on_wire"] for lv in doc["levels"]), (impl, s)
+            assert doc["network"]["messages"] == sum(
+                lv["messages"] for lv in doc["levels"]), (impl, s)

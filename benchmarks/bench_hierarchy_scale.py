@@ -1,0 +1,116 @@
+"""Cluster-scale hierarchical all-reduce: sweeping the *node count*.
+
+Figure 17-style scalability of the composed two-level hierarchies at a
+fixed large message (64 MB), out to thousands of nodes and >100k ranks:
+
+* NodeA sweep — 64 ranks/node to 2048 nodes (131072 ranks) on EDR,
+  comparing YHCCL's multi-lane ring against a pluggable Rabenseifner
+  exchange and the leader-based vendor hierarchies;
+* NodeB sweep — 48 ranks/node to 4096 nodes (196608 ranks) on a
+  dual-rail HDR fabric (the multi-rail NIC model).
+
+The intra-node leaf work is independent of the node count, so under
+``bench --compiled`` one leaf capture per (machine, kind, size) serves
+the entire node sweep — the inter-node stage is closed-form — which is
+what makes these grids cheap enough for CI.  Each cell's ``counters``
+field carries the ``repro-hier/1`` per-level breakdown.
+"""
+
+from repro.bench import Benchmark, SweepSpec, hierarchy_spec
+from repro.bench.executor import run_sweep_table
+from repro.bench.sizes import QUICK, quick_subsample
+from repro.machine.spec import MB
+
+S = 64 * MB
+NODES_A = (16, 64, 256, 1024, 2048)
+NODES_B = (16, 64, 256, 1024, 4096)
+if QUICK:  # keep the endpoints: the >=1024-node regime must survive
+    NODES_A = tuple(quick_subsample(NODES_A))
+    NODES_B = tuple(quick_subsample(NODES_B))
+
+IMPLS_A = [
+    ("YHCCL", hierarchy_spec("YHCCL")),
+    ("YHCCL-rabenseifner", hierarchy_spec("YHCCL", exchange="rabenseifner")),
+    ("Intel MPI", hierarchy_spec("Intel MPI")),
+    ("OMPI-hcoll", hierarchy_spec("OMPI-hcoll")),
+]
+IMPLS_B = [
+    ("YHCCL", hierarchy_spec("YHCCL", network="InfiniBand-HDR-2rail")),
+    ("OMPI-hcoll", hierarchy_spec("OMPI-hcoll",
+                                  network="InfiniBand-HDR-2rail")),
+]
+
+BENCH = Benchmark(
+    name="hierarchy_scale",
+    sweeps=(
+        SweepSpec(
+            name="hierarchy_scale_nodea",
+            title=f"Hierarchy scaling: NodeA x 64 ranks, s={S >> 20}MB "
+                  f"(EDR, up to {max(NODES_A)} nodes / "
+                  f"{max(NODES_A) * 64} ranks)",
+            machine="NodeA",
+            p=64,
+            sizes=NODES_A,
+            impls=tuple(IMPLS_A),
+            baseline="YHCCL",
+            axis="nodes",
+            fixed_size=S,
+        ),
+        SweepSpec(
+            name="hierarchy_scale_nodeb",
+            title=f"Hierarchy scaling: NodeB x 48 ranks, s={S >> 20}MB "
+                  f"(HDR 2-rail, up to {max(NODES_B)} nodes / "
+                  f"{max(NODES_B) * 48} ranks)",
+            machine="NodeB",
+            p=48,
+            sizes=NODES_B,
+            impls=tuple(IMPLS_B),
+            baseline="YHCCL",
+            axis="nodes",
+            fixed_size=S,
+        ),
+    ),
+)
+
+
+def run_figure():
+    return [run_sweep_table(s) for s in BENCH.sweeps]
+
+
+def test_hierarchy_scale(benchmark):
+    tables = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    nodea, nodeb = tables
+    nodea.note("x-axis is the cluster node count (64 ranks per node)")
+    nodeb.note("x-axis is the cluster node count (48 ranks per node)")
+    for table, nodes in ((nodea, NODES_A), (nodeb, NODES_B)):
+        # the multi-lane hierarchies beat the leader-based vendor
+        # hierarchies at a bandwidth-bound message on every cluster size
+        for impl in table.impls():
+            if impl.startswith("YHCCL"):
+                continue
+            for n in nodes:
+                assert table.time("YHCCL", n) < table.time(impl, n), \
+                    (impl, n)
+        # per-level traffic rolls up to the totals at every scale
+        for impl in table.impls():
+            for n in nodes:
+                doc = table.counters[impl][n]
+                assert doc["schema"] == "repro-hier/1"
+                assert doc["nnodes"] == n
+                assert doc["network"]["bytes_sent"] == sum(
+                    lv["bytes_on_wire"] for lv in doc["levels"])
+                assert doc["network"]["messages"] == sum(
+                    lv["messages"] for lv in doc["levels"])
+    # >=100k-rank cells exist in both sweeps
+    assert max(NODES_A) * 64 >= 100_000
+    assert max(NODES_B) * 48 >= 100_000
+    # Rabenseifner's log-round exchange gains on the ring as the node
+    # count grows (latency terms: 2 ceil(log2 N) vs 2(N-1))
+    big, small = max(NODES_A), min(NODES_A)
+    gain_small = (nodea.time("YHCCL", small)
+                  / nodea.time("YHCCL-rabenseifner", small))
+    gain_big = (nodea.time("YHCCL", big)
+                / nodea.time("YHCCL-rabenseifner", big))
+    assert gain_big > gain_small
+    nodea.emit("hierarchy_scale_nodea.txt")
+    nodeb.emit("hierarchy_scale_nodeb.txt")

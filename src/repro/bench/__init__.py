@@ -27,6 +27,7 @@ from repro.bench.spec import (
     SweepSpec,
     allgather_spec,
     bcast_spec,
+    hierarchy_spec,
     reduce_spec,
     vendor_spec,
     yhccl_spec,
@@ -43,6 +44,7 @@ __all__ = [
     "allgather_spec",
     "bcast_spec",
     "fmt_size",
+    "hierarchy_spec",
     "reduce_spec",
     "resolve_imax",
     "vendor_spec",

@@ -500,8 +500,18 @@ def exec_compiled_cell(payload: dict) -> dict:
     ``poly.region`` carries the full content-addressed schedule key —
     table rendering truncates for display, the JSON never does (a
     truncated key can collide across regions).
+
+    Hierarchy-family cells dispatch to
+    :func:`repro.bench.hierarchy.exec_hierarchy_compiled` — their
+    leaves replay through this module's schedule cache individually,
+    and the poly/certified/perturb flags do not apply to them.
     """
     from repro.machine.spec import PRESETS
+
+    if payload["runner"].get("family") == "hierarchy":
+        from repro.bench.hierarchy import exec_hierarchy_compiled
+
+        return exec_hierarchy_compiled(payload)
 
     poly = bool(payload.get("poly"))
     certified = poly and bool(payload.get("certified"))

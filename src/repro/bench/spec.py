@@ -22,7 +22,7 @@ from repro.bench.runners import (
 )
 
 #: runner families a spec may name
-FAMILIES = ("reduce", "bcast", "allgather", "yhccl", "vendor")
+FAMILIES = ("reduce", "bcast", "allgather", "yhccl", "vendor", "hierarchy")
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,9 @@ class RunnerSpec:
       feeds parameterized constructors such as RG's branch/slice).
     * ``"yhccl"`` — the full library stack (switching + adaptive copy).
     * ``"vendor"`` — a vendor model (``vendor`` names it).
+    * ``"hierarchy"`` — a composed multi-node hierarchy (``vendor``
+      names the implementation; ``params`` holds the cluster config:
+      ``nnodes``, ``mode``, ``lanes``, ``network``, ``pipelined``).
 
     ``kind`` is the collective ("allreduce", "bcast", ...).  ``imax`` of
     ``None`` means the per-platform tuned slice cap.
@@ -76,12 +79,23 @@ class RunnerSpec:
         d["params"] = tuple(tuple(kv) for kv in d.get("params", ()))
         return cls(**d)
 
+    def with_param(self, **kv) -> "RunnerSpec":
+        """A copy with ``params`` entries merged in (sorted-key form is
+        preserved, so cache descriptors stay canonical)."""
+        merged = dict(self.params)
+        merged.update(kv)
+        return replace(self, params=tuple(sorted(merged.items())))
+
     def resolve(self) -> Callable[[object, int], CellResult]:
         """Build the executable cell runner for this spec."""
         if self.family == "yhccl":
             return yhccl_cell(self.kind)
         if self.family == "vendor":
             return vendor_cell(self.vendor, self.kind)
+        if self.family == "hierarchy":
+            from repro.bench.hierarchy import hierarchy_cell
+
+            return hierarchy_cell(self.vendor, dict(self.params))
         from repro.bench.registry import resolve_algorithm
 
         alg = resolve_algorithm(self.algorithm, self.kind, self.params)
@@ -123,13 +137,49 @@ def vendor_spec(vendor: str, kind: str) -> RunnerSpec:
     return RunnerSpec(family="vendor", kind=kind, vendor=vendor)
 
 
+def hierarchy_spec(implementation: str, *, nnodes: int = 0,
+                   mode: str = "", lanes: Optional[int] = None,
+                   network: str = "", exchange: str = "",
+                   pipelined: bool = True) -> RunnerSpec:
+    """A composed multi-node hierarchy column.
+
+    ``implementation`` is ``"YHCCL"`` or a vendor name (as accepted by
+    :class:`~repro.library.multinode.MultiNodeAllreduce`).  ``nnodes``
+    may stay 0 when the sweep's axis is ``"nodes"`` — each cell then
+    injects its node count.  ``exchange`` overrides the implementation's
+    native inter-node stage (``"ring"`` / ``"tree"`` /
+    ``"rabenseifner"``).  Only non-default config values enter
+    ``params`` so cache descriptors stay minimal and stable.
+    """
+    kept: dict = {}
+    if nnodes:
+        kept["nnodes"] = nnodes
+    if mode:
+        kept["mode"] = mode
+    if lanes is not None:
+        kept["lanes"] = lanes
+    if network:
+        kept["network"] = network
+    if exchange:
+        kept["exchange"] = exchange
+    if not pipelined:
+        kept["pipelined"] = False
+    return RunnerSpec(family="hierarchy", kind="allreduce",
+                      vendor=implementation,
+                      params=tuple(sorted(kept.items())))
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """One sweep: machine × implementations × x-axis.
 
     ``axis`` is ``"size"`` (x values are message sizes at fixed rank
-    count ``p``) or ``"ranks"`` (x values are rank counts at fixed
-    message size ``fixed_size`` — the scalability figures).
+    count ``p``), ``"ranks"`` (x values are rank counts at fixed
+    message size ``fixed_size`` — the scalability figures) or
+    ``"nodes"`` (x values are cluster node counts at fixed message
+    size and fixed per-node rank count ``p`` — the multi-node
+    hierarchy sweeps; each cell injects its node count into the
+    runner's ``nnodes`` param).
     """
 
     name: str
@@ -143,24 +193,27 @@ class SweepSpec:
     fixed_size: int = 0
 
     def __post_init__(self) -> None:
-        if self.axis not in ("size", "ranks"):
+        if self.axis not in ("size", "ranks", "nodes"):
             raise ValueError(f"unknown sweep axis {self.axis!r}")
-        if self.axis == "ranks" and self.fixed_size <= 0:
-            raise ValueError("axis='ranks' requires a positive fixed_size")
+        if self.axis in ("ranks", "nodes") and self.fixed_size <= 0:
+            raise ValueError(
+                f"axis={self.axis!r} requires a positive fixed_size")
 
     def cells(self) -> Iterator[dict]:
         """Cell descriptors in deterministic declaration order."""
         for label, spec in self.impls:
             for x in self.sizes:
                 p = x if self.axis == "ranks" else self.p
-                nbytes = self.fixed_size if self.axis == "ranks" else x
+                nbytes = x if self.axis == "size" else self.fixed_size
+                runner = (spec.with_param(nnodes=x)
+                          if self.axis == "nodes" else spec)
                 yield {
                     "impl": label,
                     "x": x,
                     "machine": self.machine,
                     "p": p,
                     "nbytes": nbytes,
-                    "runner": spec.describe(),
+                    "runner": runner.describe(),
                 }
 
 

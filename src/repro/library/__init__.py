@@ -21,6 +21,24 @@ from repro.library.communicator import Communicator
 from repro.library.yhccl import YHCCL, CollectiveResult
 from repro.library.mpi import MPILibrary, ALGORITHMS, implementations
 from repro.library.cluster import ClusterAllreduce, ClusterResult
+from repro.library.hierarchy import (
+    BestOfStage,
+    GroupedLeafStage,
+    Hierarchy,
+    HierarchyResult,
+    LeafStage,
+    NetworkStage,
+    RabenseifnerStage,
+    RingStage,
+    SizeSwitchStage,
+    Stage,
+    StageResult,
+    TreeAllreduceStage,
+    allreduce_stages,
+    hierarchy_for_topology,
+    vendor_network_stage,
+)
+from repro.library.multinode import MultiNodeAllreduce, MultiNodeResult
 from repro.library.profiler import Profiler, ProfileRecord
 
 __all__ = [
@@ -34,4 +52,21 @@ __all__ = [
     "ProfileRecord",
     "ClusterAllreduce",
     "ClusterResult",
+    "MultiNodeAllreduce",
+    "MultiNodeResult",
+    "Stage",
+    "StageResult",
+    "LeafStage",
+    "GroupedLeafStage",
+    "NetworkStage",
+    "RingStage",
+    "TreeAllreduceStage",
+    "RabenseifnerStage",
+    "BestOfStage",
+    "SizeSwitchStage",
+    "Hierarchy",
+    "HierarchyResult",
+    "allreduce_stages",
+    "vendor_network_stage",
+    "hierarchy_for_topology",
 ]

@@ -113,6 +113,7 @@ class ClusterAllreduce:
             raise ValueError(f"need {self.nnodes} skews")
         if any(s < 0 for s in skews):
             raise ValueError("skews must be non-negative")
+        self.net.reset()  # per-call traffic accounting
         rs_t, ag_t = self._intra_times(nbytes)
 
         # every node enters the exchange when its RS is done
@@ -126,6 +127,10 @@ class ClusterAllreduce:
         chunk = nbytes / self.nnodes
         bw = self.net.effective_bandwidth(self.p)
         step_time = self.net.spec.latency + chunk / bw
+        self.net.commit(
+            self.net.ring_allreduce_cost(nbytes, self.nnodes,
+                                         concurrent_procs=self.p)
+        )
         # ring gating: step k starts at max over participants of their
         # step k-1 completion — i.e. the whole ring marches at the pace
         # of the latest entrant

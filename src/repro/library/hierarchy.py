@@ -1,0 +1,656 @@
+"""Composable hierarchical collectives (ROADMAP item 2).
+
+A cluster-scale collective is a stack of *stages*: any shared-memory
+algorithm (the MA designs, socket-aware MA, the vendor baselines) runs
+as a **leaf stage** on each node, under any pluggable **network stage**
+(ring, binomial tree, Rabenseifner reduce-scatter+allgather, and their
+multi-lane variants) exchanging across nodes.  This generalises the
+hard-coded two-phase :class:`~repro.library.multinode.MultiNodeAllreduce`
+into the explicit hierarchy the hybrid MPI+MPI literature argues for
+(Zhou et al., arXiv:2007.06892; MPI Advance, arXiv:2309.07337):
+
+* every level is a :class:`Stage` object reporting time, DAV-style byte
+  counts and traffic counters for *its* level,
+* the :class:`Hierarchy` composes levels, optionally as a segmented
+  pipeline, and rolls counters up into a ``repro-hier/1`` document in
+  which per-level traffic sums exactly to the committed network totals.
+
+Cost queries are side-effect-free: stages are **evaluated** first (no
+counter mutation — a :class:`BestOfStage` prices every candidate), and
+only the stages that actually run are **committed** to the
+:class:`~repro.machine.network.Network` counters.
+
+The segmented pipeline (Section 5.5 of the paper) overlaps chunk k's
+inter-node exchange with chunk k+1's intra-node phase.  Chunking is
+modelled honestly: a network stage is re-costed at the chunk size, so
+its latency terms and message counts scale with the chunk count, while
+leaf stages — bandwidth-bound on the node's memory system — divide
+their full-message time across chunks.
+
+:func:`allreduce_stages` builds the two standard two-level instances:
+the paper's *partition* hierarchy (MA reduce-scatter -> multi-lane ring
+-> MA allgather) and the *leader* hierarchy vendors use on InfiniBand
+(node reduce -> single-lane tree/ring exchange -> node bcast).
+:func:`hierarchy_for_topology` assembles a full hierarchy from a
+:class:`~repro.machine.network.Topology`, including heterogeneous
+NodeA/NodeB groups gated on the slowest group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.library.communicator import Communicator
+from repro.library.mpi import MPILibrary
+from repro.library.yhccl import YHCCL
+from repro.machine.network import Network, NetworkCost, Topology
+from repro.machine.spec import PRESETS
+
+#: schema tag of the per-level breakdown document
+HIER_SCHEMA = "repro-hier/1"
+
+#: message-size threshold of the vendor tree-vs-ring switch
+VENDOR_TREE_CUTOFF = 256 * 1024
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative partition arithmetic."""
+    return -(-a // b)
+
+
+# ---------------------------------------------------------------------------
+# Per-stage results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One level's contribution to a hierarchical collective.
+
+    ``time`` is the level's total across all pipeline chunks;
+    ``chunk_time`` the steady-state per-chunk time the pipeline
+    composition uses.  ``bytes_on_wire`` / ``messages`` are the
+    inter-node traffic this level commits (zero for leaf stages);
+    ``dav`` / ``memory_traffic`` the node-local byte counts a leaf
+    reports (zero for network stages).
+    """
+
+    name: str
+    level: str  # "intra" | "inter"
+    time: float
+    chunk_time: float
+    nbytes: int
+    chunks: int = 1
+    algorithm: str = ""
+    dav: int = 0
+    memory_traffic: int = 0
+    bytes_on_wire: int = 0
+    messages: int = 0
+    steps: int = 0
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "level": self.level,
+            "algorithm": self.algorithm,
+            "time": self.time,
+            "chunk_time": self.chunk_time,
+            "nbytes": self.nbytes,
+            "chunks": self.chunks,
+            "dav": self.dav,
+            "memory_traffic": self.memory_traffic,
+            "bytes_on_wire": self.bytes_on_wire,
+            "messages": self.messages,
+            "steps": self.steps,
+        }
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Composed outcome with per-level breakdown and counter roll-up."""
+
+    name: str
+    nbytes: int
+    nnodes: int
+    nranks: int
+    chunks: int
+    time: float
+    stages: Tuple[StageResult, ...]
+    topology: Optional[dict] = None
+
+    @property
+    def pipelined(self) -> bool:
+        return self.chunks > 1
+
+    @property
+    def intra_time(self) -> float:
+        return sum(s.time for s in self.stages if s.level == "intra")
+
+    @property
+    def inter_time(self) -> float:
+        return sum(s.time for s in self.stages if s.level == "inter")
+
+    @property
+    def network_bytes(self) -> int:
+        return sum(s.bytes_on_wire for s in self.stages)
+
+    @property
+    def network_messages(self) -> int:
+        return sum(s.messages for s in self.stages)
+
+    @property
+    def dav(self) -> int:
+        return sum(s.dav for s in self.stages)
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+    def to_doc(self) -> dict:
+        """``repro-hier/1``: per-level breakdown plus totals.
+
+        ``network.bytes_sent`` / ``network.messages`` equal the sums of
+        the per-level counters by construction — consumers can (and the
+        tests do) verify the roll-up.
+        """
+        doc = {
+            "schema": HIER_SCHEMA,
+            "name": self.name,
+            "nbytes": self.nbytes,
+            "nnodes": self.nnodes,
+            "nranks": self.nranks,
+            "chunks": self.chunks,
+            "pipelined": self.pipelined,
+            "time": self.time,
+            "intra_time": self.intra_time,
+            "inter_time": self.inter_time,
+            "levels": [s.to_doc() for s in self.stages],
+            "network": {
+                "bytes_sent": self.network_bytes,
+                "messages": self.network_messages,
+            },
+            "dav": self.dav,
+        }
+        if self.topology is not None:
+            doc["topology"] = self.topology
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+class Stage:
+    """One level of a hierarchical collective.
+
+    ``evaluate`` must be free of side effects on shared counters so the
+    hierarchy (or a :class:`BestOfStage`) can price alternatives;
+    ``commit`` posts the chosen result's traffic.
+    """
+
+    name: str = "stage"
+    level: str = "intra"
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        raise NotImplementedError
+
+    def commit(self, result: StageResult) -> None:  # noqa: B027 (leafs no-op)
+        """Post ``result``'s traffic to the stage's counters."""
+
+
+class LeafStage(Stage):
+    """A node-local collective phase.
+
+    ``op`` is any callable returning an object with a ``time`` attribute
+    (the library facades' ``CollectiveResult`` fits); ``sizer`` maps the
+    hierarchy's message size to this phase's size — e.g. the trailing
+    allgather of the partition hierarchy runs at ``ceil(nbytes / p)``
+    per rank.  Leaf phases are bandwidth-bound on the node's memory
+    system, so a pipeline chunk costs ``time / chunks``.
+    """
+
+    level = "intra"
+
+    def __init__(self, name: str, op: Callable[[int], object], *,
+                 sizer: Optional[Callable[[int], int]] = None,
+                 algorithm: str = ""):
+        self.name = name
+        self._op = op
+        self._sizer = sizer or (lambda n: n)
+        self._algorithm = algorithm
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        size = self._sizer(nbytes)
+        res = self._op(size)
+        time = float(res.time)
+        return StageResult(
+            name=self.name,
+            level=self.level,
+            time=time,
+            chunk_time=time / chunks,
+            nbytes=size,
+            chunks=chunks,
+            algorithm=self._algorithm or getattr(res, "algorithm", ""),
+            dav=int(getattr(res, "dav", 0) or 0),
+            memory_traffic=int(getattr(res, "memory_traffic", 0) or 0),
+        )
+
+
+class GroupedLeafStage(Stage):
+    """A node-local phase across heterogeneous node groups.
+
+    Every group runs its own leaf concurrently; the level completes when
+    the slowest group does (the inter-node exchange gates on it), so
+    ``time`` is the max over children while the byte counts sum across
+    the per-group reports.
+    """
+
+    level = "intra"
+
+    def __init__(self, name: str, children: Sequence[LeafStage]):
+        if not children:
+            raise ValueError("a grouped stage needs at least one child")
+        self.name = name
+        self.children = tuple(children)
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        parts = [c.evaluate(nbytes, chunks) for c in self.children]
+        slowest = max(parts, key=lambda r: r.time)
+        return StageResult(
+            name=self.name,
+            level=self.level,
+            time=slowest.time,
+            chunk_time=slowest.chunk_time,
+            nbytes=slowest.nbytes,
+            chunks=chunks,
+            algorithm=slowest.algorithm,
+            dav=sum(p.dav for p in parts),
+            memory_traffic=sum(p.memory_traffic for p in parts),
+        )
+
+
+class NetworkStage(Stage):
+    """Base for inter-node exchange stages over a shared :class:`Network`.
+
+    Subclasses implement :meth:`cost` (pure).  Pipelining re-costs the
+    exchange at the chunk size and scales it by the chunk count, so
+    latency terms, bytes and message counts all grow with chunking —
+    exactly what a segmented ring pays on a real fabric.
+    """
+
+    level = "inter"
+
+    def __init__(self, name: str, net: Network, nnodes: int):
+        if nnodes < 1:
+            raise ValueError("need at least one node")
+        self.name = name
+        self.net = net
+        self.nnodes = nnodes
+
+    def cost(self, nbytes: int) -> NetworkCost:
+        raise NotImplementedError
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        if chunks <= 1:
+            per = total = self.cost(nbytes)
+        else:
+            per = self.cost(ceil_div(nbytes, chunks))
+            total = per.scaled(chunks)
+        return StageResult(
+            name=self.name,
+            level=self.level,
+            time=total.time,
+            chunk_time=per.time,
+            nbytes=nbytes,
+            chunks=chunks,
+            algorithm=self.name,
+            bytes_on_wire=total.bytes_on_wire,
+            messages=total.messages,
+            steps=total.steps,
+        )
+
+    def commit(self, result: StageResult) -> None:
+        self.net.commit(NetworkCost(
+            time=result.time,
+            bytes_on_wire=result.bytes_on_wire,
+            messages=result.messages,
+            steps=result.steps,
+        ))
+
+
+class RingStage(NetworkStage):
+    """Ring allreduce across nodes; ``lanes`` concurrent senders per
+    node (the paper's multi-lane design uses one lane per rank)."""
+
+    def __init__(self, net: Network, nnodes: int, *, lanes: int = 1):
+        super().__init__(f"ring-{lanes}lane" if lanes > 1 else "ring",
+                         net, nnodes)
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.lanes = lanes
+
+    def cost(self, nbytes: int) -> NetworkCost:
+        return self.net.ring_allreduce_cost(nbytes, self.nnodes,
+                                            concurrent_procs=self.lanes)
+
+
+class TreeAllreduceStage(NetworkStage):
+    """Binomial reduce+bcast across node leaders (single lane)."""
+
+    def __init__(self, net: Network, nnodes: int):
+        super().__init__("tree", net, nnodes)
+
+    def cost(self, nbytes: int) -> NetworkCost:
+        return self.net.tree_allreduce_cost(nbytes, self.nnodes)
+
+
+class RabenseifnerStage(NetworkStage):
+    """Recursive-halving RS + recursive-doubling AG across nodes."""
+
+    def __init__(self, net: Network, nnodes: int, *, lanes: int = 1):
+        super().__init__("rabenseifner", net, nnodes)
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.lanes = lanes
+
+    def cost(self, nbytes: int) -> NetworkCost:
+        return self.net.rabenseifner_allreduce_cost(
+            nbytes, self.nnodes, concurrent_procs=self.lanes)
+
+
+class BestOfStage(Stage):
+    """Price every candidate exchange, run (and commit) only the
+    fastest — the estimate/commit split that fixes the historical
+    double-count of the road not taken."""
+
+    level = "inter"
+
+    def __init__(self, children: Sequence[NetworkStage], *,
+                 name: str = "best-of"):
+        if not children:
+            raise ValueError("need at least one candidate stage")
+        self.children = tuple(children)
+        self.name = name
+        self._chosen: Dict[int, Stage] = {}
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        results = [c.evaluate(nbytes, chunks) for c in self.children]
+        best = min(range(len(results)), key=lambda i: results[i].time)
+        self._chosen[id(results[best])] = self.children[best]
+        return results[best]
+
+    def commit(self, result: StageResult) -> None:
+        chosen = self._chosen.pop(id(result), None)
+        if chosen is None:  # committed standalone: match by name
+            chosen = next(c for c in self.children if c.name == result.name)
+        chosen.commit(result)
+
+
+class SizeSwitchStage(Stage):
+    """Static vendor-style switch: ``small`` exchange up to and
+    including ``threshold`` bytes, ``large`` above it."""
+
+    level = "inter"
+
+    def __init__(self, small: NetworkStage, large: NetworkStage, *,
+                 threshold: int = VENDOR_TREE_CUTOFF, name: str = ""):
+        self.small = small
+        self.large = large
+        self.threshold = threshold
+        self.name = name or f"{small.name}<={threshold}<{large.name}"
+
+    def _pick(self, nbytes: int) -> NetworkStage:
+        return self.small if nbytes <= self.threshold else self.large
+
+    def evaluate(self, nbytes: int, chunks: int = 1) -> StageResult:
+        return self._pick(nbytes).evaluate(nbytes, chunks)
+
+    def commit(self, result: StageResult) -> None:
+        self._pick(result.nbytes).commit(result)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchy composition
+# ---------------------------------------------------------------------------
+
+
+class Hierarchy:
+    """A stack of stages executed as one collective.
+
+    ``run`` evaluates every level (side-effect-free), commits each
+    level's traffic to the network counters, and composes the times:
+    serially for ``chunks=1``, as a ``chunks``-deep software pipeline
+    otherwise (``T = sum(chunk times) + (chunks-1) * max(chunk time)``
+    — fill plus steady state on the bottleneck stage).
+    """
+
+    def __init__(self, stages: Sequence[Stage], *, name: str = "hierarchy",
+                 network: Optional[Network] = None, nnodes: int = 1,
+                 nranks: int = 0, topology: Optional[Topology] = None):
+        if not stages:
+            raise ValueError("a hierarchy needs at least one stage")
+        self.stages = tuple(stages)
+        self.name = name
+        self.network = network
+        self.topology = topology
+        if topology is not None:
+            nnodes = topology.nnodes
+            nranks = topology.nranks
+        self.nnodes = nnodes
+        self.nranks = nranks
+
+    def run(self, nbytes: int, *, chunks: int = 1,
+            reset: bool = True) -> HierarchyResult:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if chunks < 1:
+            raise ValueError("need at least one chunk")
+        if reset and self.network is not None:
+            self.network.reset()
+        results = [s.evaluate(nbytes, chunks) for s in self.stages]
+        for stage, res in zip(self.stages, results):
+            stage.commit(res)
+        if chunks == 1:
+            # group by level so the two-level total matches the legacy
+            # intra + inter float-summation order bitwise
+            intra = sum(r.time for r in results if r.level == "intra")
+            inter = sum(r.time for r in results if r.level == "inter")
+            time = intra + inter
+        else:
+            chunk_times = [r.chunk_time for r in results]
+            time = sum(chunk_times) + (chunks - 1) * max(chunk_times)
+        return HierarchyResult(
+            name=self.name,
+            nbytes=nbytes,
+            nnodes=self.nnodes,
+            nranks=self.nranks,
+            chunks=chunks,
+            time=time,
+            stages=tuple(results),
+            topology=self.topology.describe() if self.topology else None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Standard two-level builders
+# ---------------------------------------------------------------------------
+
+
+def vendor_network_stage(net: Network, nnodes: int, *,
+                         adaptive: bool = False) -> Stage:
+    """The single-lane exchange vendors run between node leaders.
+
+    ``adaptive`` models hcoll's runtime probe (price tree and ring,
+    take the min); the static variant switches at the 256 KiB message
+    size Intel MPI / MVAPICH2 / MPICH use.
+    """
+    tree = TreeAllreduceStage(net, nnodes)
+    ring = RingStage(net, nnodes, lanes=1)
+    if adaptive:
+        return BestOfStage((tree, ring), name="tree|ring")
+    return SizeSwitchStage(tree, ring)
+
+
+def allreduce_stages(lib: object, *, net: Network, nnodes: int,
+                     nranks_per_node: int, mode: str = "partition",
+                     lanes: Optional[int] = None,
+                     network_stage: Optional[Stage] = None,
+                     adaptive: bool = False,
+                     leaf_ops: Optional[Dict[str, Callable[[int], object]]]
+                     = None) -> List[Stage]:
+    """Build the standard two-level allreduce stage stack.
+
+    ``mode="partition"`` is the paper's hierarchy: MA reduce-scatter,
+    multi-lane inter-node ring over the scattered partitions (one lane
+    per rank unless ``lanes`` overrides), MA allgather of
+    ``ceil(nbytes / p)`` per rank.  ``mode="leader"`` is the vendor
+    hierarchy: node reduce, single-lane leader exchange (tree/ring
+    switch, or ``network_stage``), node bcast.
+
+    ``lib`` supplies the leaf collectives (any object with the
+    :class:`~repro.library.yhccl.YHCCL` facade's method names);
+    ``leaf_ops`` overrides individual kinds with custom callables —
+    the bench layer injects compiled-replay leaves this way.
+    """
+    p = nranks_per_node
+    if p < 1:
+        raise ValueError("need at least one rank per node")
+    ops = dict(leaf_ops or {})
+
+    def op(kind: str) -> Callable[[int], object]:
+        return ops.get(kind) or getattr(lib, kind)
+
+    if mode == "partition":
+        exchange = network_stage or RingStage(
+            net, nnodes, lanes=lanes if lanes is not None else p)
+        return [
+            LeafStage("reduce_scatter", op("reduce_scatter")),
+            exchange,
+            # every rank gathers its ceil-division partition; the last
+            # partition may be ragged but no rank gathers more than
+            # ceil(nbytes / p), and p * ceil(nbytes / p) >= nbytes
+            LeafStage("allgather", op("allgather"),
+                      sizer=lambda n: ceil_div(n, p) if n else 0),
+        ]
+    if mode == "leader":
+        exchange = network_stage or vendor_network_stage(
+            net, nnodes, adaptive=adaptive)
+        return [
+            LeafStage("reduce", op("reduce")),
+            exchange,
+            LeafStage("bcast", op("bcast")),
+        ]
+    raise ValueError(f"unknown hierarchy mode: {mode!r}")
+
+
+@dataclass
+class _GroupLib:
+    """A node group's leaf library plus its shape."""
+
+    group_name: str
+    lib: object
+    ranks_per_node: int
+
+
+def _leaf_library(machine_name: str, ranks_per_node: int,
+                  implementation: str) -> object:
+    machine = PRESETS[machine_name]
+    comm = Communicator(ranks_per_node, machine=machine, functional=False)
+    if implementation == "YHCCL":
+        return YHCCL(comm)
+    vendor = "Open MPI" if implementation == "OMPI-hcoll" else implementation
+    return MPILibrary(comm, vendor)
+
+
+def hierarchy_for_topology(topology: Topology, *,
+                           implementation: str = "YHCCL",
+                           mode: Optional[str] = None,
+                           lanes: Optional[int] = None,
+                           adaptive: Optional[bool] = None,
+                           network: Optional[Network] = None,
+                           network_stage_factory: Optional[
+                               Callable[[Network, int], Stage]] = None,
+                           name: str = "") -> Hierarchy:
+    """Assemble a two-level hierarchy for a whole cluster topology.
+
+    Homogeneous topologies get plain leaf stages; heterogeneous ones a
+    :class:`GroupedLeafStage` per phase, gated on the slowest group.
+    The exchange defaults to the implementation's native choice —
+    multi-lane ring for YHCCL (lanes = the *smallest* group's rank
+    count, since every node must sustain that concurrency), the
+    tree/ring leader switch for vendors.
+    """
+    mode = mode or ("partition" if implementation == "YHCCL" else "leader")
+    adaptive = (implementation == "OMPI-hcoll" if adaptive is None
+                else adaptive)
+    net = network or Network(topology.network)
+    nnodes = topology.nnodes
+    min_p = min(g.ranks_per_node for g in topology.groups)
+
+    if network_stage_factory is not None:
+        exchange: Stage = network_stage_factory(net, nnodes)
+    elif mode == "partition":
+        exchange = RingStage(net, nnodes,
+                             lanes=lanes if lanes is not None else min_p)
+    else:
+        exchange = vendor_network_stage(net, nnodes, adaptive=adaptive)
+
+    libs = [
+        _GroupLib(g.machine, _leaf_library(g.machine, g.ranks_per_node,
+                                           implementation),
+                  g.ranks_per_node)
+        for g in topology.groups
+    ]
+
+    def leaf(kind: str, sizer_per_p: bool = False) -> Stage:
+        children = [
+            LeafStage(
+                f"{kind}@{gl.group_name}" if len(libs) > 1 else kind,
+                getattr(gl.lib, kind),
+                sizer=(lambda n, p=gl.ranks_per_node:
+                       ceil_div(n, p) if n else 0) if sizer_per_p else None,
+            )
+            for gl in libs
+        ]
+        if len(children) == 1:
+            return children[0]
+        return GroupedLeafStage(kind, children)
+
+    if mode == "partition":
+        stages: List[Stage] = [
+            leaf("reduce_scatter"), exchange, leaf("allgather", True)
+        ]
+    else:
+        stages = [leaf("reduce"), exchange, leaf("bcast")]
+
+    return Hierarchy(
+        stages,
+        name=name or f"{implementation}-{mode}",
+        network=net,
+        topology=topology,
+    )
+
+
+# re-exported for convenience alongside the stage classes
+__all__ = [
+    "HIER_SCHEMA",
+    "VENDOR_TREE_CUTOFF",
+    "ceil_div",
+    "StageResult",
+    "HierarchyResult",
+    "Stage",
+    "LeafStage",
+    "GroupedLeafStage",
+    "NetworkStage",
+    "RingStage",
+    "TreeAllreduceStage",
+    "RabenseifnerStage",
+    "BestOfStage",
+    "SizeSwitchStage",
+    "Hierarchy",
+    "vendor_network_stage",
+    "allreduce_stages",
+    "hierarchy_for_topology",
+]

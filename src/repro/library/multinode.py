@@ -13,6 +13,21 @@ process per node reduces the node's contribution (intra-node reduce),
 exchanges across nodes through a single lane (tree for small messages,
 ring for large), and broadcasts back — the structure OMPI-hcoll,
 Intel MPI and MVAPICH2 use on InfiniBand.
+
+Both are now two-level instances of the composable framework in
+:mod:`repro.library.hierarchy`; this module keeps the historical facade
+and adds the per-level breakdown on the result.  Relative to the
+pre-hierarchy model, three cost-model bugs are fixed here:
+
+* **estimate/commit split** — the hcoll tree-vs-ring probe no longer
+  double-counts the road not taken in the network counters,
+* **ceil-division partitions** — the trailing allgather runs at
+  ``ceil(nbytes / p)`` per rank instead of ``nbytes // p`` (which
+  dropped the remainder) or the *full* message when ``nbytes < p``
+  (which inflated tiny-message cost ``p``-fold),
+* **chunked pipeline accounting** — a ``C``-chunk segmented pipeline
+  pays its inter-node latency terms and message counts per chunk, and
+  the network counters reset per call instead of accumulating forever.
 """
 
 from __future__ import annotations
@@ -21,6 +36,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.library.communicator import Communicator
+from repro.library.hierarchy import (
+    Hierarchy,
+    HierarchyResult,
+    allreduce_stages,
+)
 from repro.library.mpi import MPILibrary
 from repro.library.yhccl import YHCCL
 from repro.machine.network import INFINIBAND_EDR, Network, NetworkSpec
@@ -31,7 +51,8 @@ class MultiNodeResult:
     """Timing breakdown of one multi-node collective.
 
     ``time`` accounts for pipelining when enabled; ``intra_time`` and
-    ``inter_time`` are the un-overlapped phase totals.
+    ``inter_time`` are the un-overlapped phase totals.  ``hierarchy``
+    carries the full per-level ``repro-hier/1`` breakdown.
     """
 
     time: float
@@ -40,6 +61,7 @@ class MultiNodeResult:
     nbytes: int
     nnodes: int
     pipelined: bool = False
+    hierarchy: Optional[HierarchyResult] = None
 
     @property
     def time_us(self) -> float:
@@ -78,53 +100,42 @@ class MultiNodeAllreduce:
         self._lib = (
             YHCCL(comm) if implementation == "YHCCL" else MPILibrary(comm, vendor)
         )
+        yhccl = implementation == "YHCCL"
+        stages = allreduce_stages(
+            self._lib,
+            net=self.network,
+            nnodes=nnodes,
+            nranks_per_node=comm.nranks,
+            mode="partition" if yhccl else "leader",
+            adaptive=implementation == "OMPI-hcoll",
+        )
+        self.hierarchy = Hierarchy(
+            stages,
+            name=implementation,
+            network=self.network,
+            nnodes=nnodes,
+            nranks=nnodes * comm.nranks,
+        )
 
     def allreduce(self, nbytes: int) -> MultiNodeResult:
-        p = self.comm.nranks
-        if self.implementation == "YHCCL":
-            rs = self._lib.reduce_scatter(nbytes)
-            ag = self._lib.allgather(nbytes // p if nbytes >= p else nbytes)
-            intra = rs.time + ag.time
-            # every rank ships its partition: p concurrent lanes
-            inter = self.network.ring_allreduce_time(
-                nbytes, self.nnodes, concurrent_procs=p
-            )
-            # chunking a latency-bound message multiplies its latency
-            # terms; only pipeline when the message is bandwidth-bound
-            big_enough = nbytes >= self.PIPELINE_CHUNKS * (1 << 20)
-            if not (self.pipelined and self.nnodes > 1 and big_enough):
-                return MultiNodeResult(
-                    time=intra + inter, intra_time=intra, inter_time=inter,
-                    nbytes=nbytes, nnodes=self.nnodes,
-                )
-            # Section 5.5's segmented pipeline: the message is chunked;
-            # chunk k's inter-node ring overlaps chunk k+1's intra-node
-            # reduce-scatter (and the trailing allgathers overlap the
-            # preceding chunks' exchanges).  Three-stage pipeline over C
-            # chunks: T = sum(stages)/C + (C-1)/C * max(stage).
-            c = self.PIPELINE_CHUNKS
-            stages = [rs.time, inter, ag.time]
-            time = sum(stages) / c + (c - 1) / c * max(stages)
-            return MultiNodeResult(
-                time=time, intra_time=intra, inter_time=inter,
-                nbytes=nbytes, nnodes=self.nnodes, pipelined=True,
-            )
-        # Leader-based vendor hierarchy: node reduce + 1-lane exchange +
-        # node bcast.  Tree-based network collectives win on latency for
-        # small messages; bandwidth-bound rings win for large — vendors
-        # switch, and so does the model.
-        red = self._lib.reduce(nbytes)
-        bc = self._lib.bcast(nbytes)
-        intra = red.time + bc.time
-        tree = self.network.tree_allreduce_time(nbytes, self.nnodes)
-        ring = self.network.ring_allreduce_time(
-            nbytes, self.nnodes, concurrent_procs=1
-        )
-        hcoll = self.implementation == "OMPI-hcoll"
-        inter = min(tree, ring) if hcoll else (
-            tree if nbytes <= 256 * 1024 else ring
-        )
+        # chunking a latency-bound message multiplies its latency
+        # terms; only pipeline when the message is bandwidth-bound.
+        # Section 5.5's segmented pipeline: the message is chunked;
+        # chunk k's inter-node ring overlaps chunk k+1's intra-node
+        # reduce-scatter (and the trailing allgathers overlap the
+        # preceding chunks' exchanges).
+        chunks = 1
+        if (self.pipelined and self.implementation == "YHCCL"
+                and self.nnodes > 1
+                and nbytes >= self.PIPELINE_CHUNKS * (1 << 20)):
+            chunks = self.PIPELINE_CHUNKS
+        res = self.hierarchy.run(nbytes, chunks=chunks)
         return MultiNodeResult(
-            time=intra + inter, intra_time=intra, inter_time=inter,
-            nbytes=nbytes, nnodes=self.nnodes,
+            time=res.time,
+            intra_time=res.intra_time,
+            inter_time=res.inter_time,
+            nbytes=nbytes,
+            nnodes=self.nnodes,
+            pipelined=res.pipelined,
+            hierarchy=res,
         )

@@ -20,7 +20,16 @@ from repro.machine.spec import (
 )
 from repro.machine.cache import RegionCache, SetAssociativeCache, AccessResult
 from repro.machine.memory import MemorySystem, TrafficCounters
-from repro.machine.network import Network, NetworkSpec, INFINIBAND_EDR
+from repro.machine.network import (
+    Network,
+    NetworkCost,
+    NetworkSpec,
+    NodeGroup,
+    Topology,
+    INFINIBAND_EDR,
+    INFINIBAND_HDR_2RAIL,
+    NETWORKS,
+)
 
 __all__ = [
     "CacheSpec",
@@ -36,6 +45,11 @@ __all__ = [
     "MemorySystem",
     "TrafficCounters",
     "Network",
+    "NetworkCost",
     "NetworkSpec",
+    "NodeGroup",
+    "Topology",
     "INFINIBAND_EDR",
+    "INFINIBAND_HDR_2RAIL",
+    "NETWORKS",
 ]

@@ -6,30 +6,62 @@ link with latency ``alpha`` and bandwidth ``beta``, plus the *multi-lane*
 effect the paper exploits (Section 5.5): a single MPI process cannot
 saturate a modern InfiniBand NIC, so implementations that communicate
 through one leader per node see only ``lane_bandwidth``; k concurrent
-processes see ``min(k * lane_bandwidth, link_bandwidth)``.
+processes see ``min(k * lane_bandwidth, rails * link_bandwidth)``.
+``rails`` models multi-rail nodes (several NICs striped per node, the
+HPE Slingshot / dual-HCA InfiniBand configuration): each rail adds a
+full link of bandwidth, reachable only with enough concurrent senders.
+
+Cost queries are **side-effect-free**: every ``*_cost`` method returns
+a :class:`NetworkCost` estimate and touches no counters, so callers can
+price several candidate exchange strategies (the vendor tree-vs-ring
+switch) and then :meth:`Network.commit` only the one that actually
+runs.  The historical ``*_time`` helpers are thin pure wrappers around
+the cost methods.  ``bytes_sent`` / ``messages`` therefore reflect
+exactly the committed traffic; :meth:`Network.reset` gives per-call
+accounting (see :mod:`repro.library.multinode`).
+
+:class:`Topology` describes a whole cluster — groups of identical
+nodes (machine preset, node count, ranks per node) sharing one NIC
+model — and is the shape argument of the composable hierarchy layer
+(:mod:`repro.library.hierarchy`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
 
 from repro.machine.spec import GB_S, US
 
 
 @dataclass(frozen=True)
 class NetworkSpec:
-    """Per-node NIC characteristics."""
+    """Per-node NIC characteristics.
+
+    ``link_bandwidth`` is one rail's full-duplex bandwidth;
+    ``lane_bandwidth`` what a single process can drive; ``rails`` how
+    many independent rails (NICs) each node stripes traffic across.
+    """
 
     name: str
     latency: float  # seconds, one message
-    link_bandwidth: float  # bytes/s, full NIC
+    link_bandwidth: float  # bytes/s, one full NIC rail
     lane_bandwidth: float  # bytes/s achievable by a single process
+    rails: int = 1
 
     def __post_init__(self) -> None:
         if self.link_bandwidth <= 0 or self.lane_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
         if self.lane_bandwidth > self.link_bandwidth:
             raise ValueError("a single lane cannot exceed the link")
+        if self.rails < 1:
+            raise ValueError("a node needs at least one rail")
+
+    @property
+    def node_bandwidth(self) -> float:
+        """Aggregate NIC bandwidth of one node (all rails)."""
+        return self.rails * self.link_bandwidth
 
 
 #: 100 Gb/s-class fabric: ~12 GB/s links, one process drives ~4 GB/s.
@@ -40,63 +72,258 @@ INFINIBAND_EDR = NetworkSpec(
     lane_bandwidth=4.0 * GB_S,
 )
 
+#: 200 Gb/s-class fabric, two rails per node (dual-HCA striping).
+INFINIBAND_HDR_2RAIL = NetworkSpec(
+    name="InfiniBand-HDR-2rail",
+    latency=1.3 * US,
+    link_bandwidth=24.0 * GB_S,
+    lane_bandwidth=6.0 * GB_S,
+    rails=2,
+)
+
+#: NIC presets resolvable by name from declarative benchmark specs.
+NETWORKS: "dict[str, NetworkSpec]" = {
+    INFINIBAND_EDR.name: INFINIBAND_EDR,
+    INFINIBAND_HDR_2RAIL.name: INFINIBAND_HDR_2RAIL,
+}
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Side-effect-free estimate of one inter-node exchange.
+
+    ``bytes_on_wire`` / ``messages`` are per-node (what one NIC carries
+    — the convention the counters have always used); ``steps`` is the
+    synchronous step count of the exchange (latency terms).
+    """
+
+    time: float
+    bytes_on_wire: int
+    messages: int
+    steps: int = 0
+
+    def scaled(self, n: int) -> "NetworkCost":
+        """The cost of running this exchange ``n`` times back to back
+        (a segmented pipeline's chunks: every latency term, message and
+        byte recurs per chunk)."""
+        if n < 1:
+            raise ValueError("need at least one repetition")
+        return NetworkCost(
+            time=self.time * n,
+            bytes_on_wire=self.bytes_on_wire * n,
+            messages=self.messages * n,
+            steps=self.steps * n,
+        )
+
+
+ZERO_COST = NetworkCost(time=0.0, bytes_on_wire=0, messages=0, steps=0)
+
 
 class Network:
-    """Cost model for point-to-point and ring exchanges between nodes."""
+    """Cost model for point-to-point and collective exchanges between
+    nodes, with explicit estimate/commit traffic accounting."""
 
     def __init__(self, spec: NetworkSpec = INFINIBAND_EDR):
         self.spec = spec
         self.bytes_sent = 0
         self.messages = 0
 
+    # ---- accounting -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero the traffic counters (per-call accounting)."""
+        self.bytes_sent = 0
+        self.messages = 0
+
+    def commit(self, cost: NetworkCost) -> None:
+        """Record a chosen exchange's traffic.  Only committed costs
+        reach the counters — pricing the road not taken is free."""
+        self.bytes_sent += cost.bytes_on_wire
+        self.messages += cost.messages
+
+    # ---- cost queries (side-effect-free) ----------------------------------
+
     def effective_bandwidth(self, concurrent_procs: int) -> float:
         """Aggregate node bandwidth seen by ``concurrent_procs`` senders."""
         if concurrent_procs <= 0:
             raise ValueError("need at least one sender")
         return min(
-            concurrent_procs * self.spec.lane_bandwidth, self.spec.link_bandwidth
+            concurrent_procs * self.spec.lane_bandwidth,
+            self.spec.node_bandwidth,
         )
 
-    def p2p_time(self, nbytes: int, concurrent_procs: int = 1) -> float:
+    def p2p_cost(self, nbytes: int, concurrent_procs: int = 1) -> NetworkCost:
         """One message of ``nbytes`` with the node link shared by
-        ``concurrent_procs`` concurrent streams (each gets an equal share
-        of the effective bandwidth)."""
+        ``concurrent_procs`` concurrent streams (each gets an equal
+        share of the effective bandwidth)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        self.bytes_sent += nbytes
-        self.messages += 1
         bw = self.effective_bandwidth(concurrent_procs) / concurrent_procs
-        return self.spec.latency + nbytes / bw
+        return NetworkCost(
+            time=self.spec.latency + nbytes / bw,
+            bytes_on_wire=nbytes,
+            messages=1,
+            steps=1,
+        )
+
+    def ring_allreduce_cost(
+        self, nbytes: int, nnodes: int, concurrent_procs: int = 1
+    ) -> NetworkCost:
+        """Inter-node ring allreduce of ``nbytes`` (reduce-scatter +
+        allgather, the standard 2(n-1)/n exchange), with
+        ``concurrent_procs`` processes per node driving the NIC (the
+        paper's multi-lane hierarchical design splits the message
+        across processes)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nnodes <= 1:
+            return ZERO_COST
+        steps = 2 * (nnodes - 1)
+        chunk = nbytes / nnodes
+        bw = self.effective_bandwidth(concurrent_procs)
+        return NetworkCost(
+            time=steps * (self.spec.latency + chunk / bw),
+            bytes_on_wire=int(chunk * steps),
+            messages=steps,
+            steps=steps,
+        )
+
+    def tree_bcast_cost(self, nbytes: int, nnodes: int) -> NetworkCost:
+        """Binomial-tree broadcast across nodes, single leader per node.
+
+        ``bytes_on_wire`` totals the whole tree's traffic (a node
+        forwards to every subtree it roots), ``messages`` the per-node
+        view the ring costs use: one message per round."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nnodes <= 1:
+            return ZERO_COST
+        rounds = math.ceil(math.log2(nnodes))
+        return NetworkCost(
+            time=rounds * (self.spec.latency
+                           + nbytes / self.spec.lane_bandwidth),
+            bytes_on_wire=nbytes * (nnodes - 1),
+            messages=nnodes - 1,
+            steps=rounds,
+        )
+
+    def tree_allreduce_cost(self, nbytes: int, nnodes: int) -> NetworkCost:
+        """Reduce+bcast binomial tree, single leader per node (models
+        the vendor tree collectives that win on small messages)."""
+        bcast = self.tree_bcast_cost(nbytes, nnodes)
+        return bcast.scaled(2) if nnodes > 1 else ZERO_COST
+
+    def rabenseifner_allreduce_cost(
+        self, nbytes: int, nnodes: int, concurrent_procs: int = 1
+    ) -> NetworkCost:
+        """Rabenseifner inter-node allreduce: recursive-halving
+        reduce-scatter + recursive-doubling allgather.  Same
+        ``2(n-1)/n`` bytes as the ring but only ``2 ceil(log2 n)``
+        latency steps — the latency-optimal bandwidth-optimal point."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nnodes <= 1:
+            return ZERO_COST
+        rounds = 2 * math.ceil(math.log2(nnodes))
+        exchanged = 2.0 * (nnodes - 1) / nnodes * nbytes
+        bw = self.effective_bandwidth(concurrent_procs)
+        return NetworkCost(
+            time=rounds * self.spec.latency + exchanged / bw,
+            bytes_on_wire=int(exchanged),
+            messages=rounds,
+            steps=rounds,
+        )
+
+    # ---- legacy pure wrappers ---------------------------------------------
+
+    def p2p_time(self, nbytes: int, concurrent_procs: int = 1) -> float:
+        """Pure time estimate; commit :meth:`p2p_cost` to account it."""
+        return self.p2p_cost(nbytes, concurrent_procs).time
 
     def ring_allreduce_time(
         self, nbytes: int, nnodes: int, concurrent_procs: int = 1
     ) -> float:
-        """Inter-node ring allreduce of ``nbytes`` (reduce-scatter +
-        allgather, the standard 2(n-1)/n exchange), with
-        ``concurrent_procs`` processes per node driving the NIC
-        (the paper's multi-lane hierarchical design splits the message
-        across processes)."""
-        if nnodes <= 1:
-            return 0.0
-        steps = 2 * (nnodes - 1)
-        chunk = nbytes / nnodes
-        bw = self.effective_bandwidth(concurrent_procs)
-        self.bytes_sent += int(chunk * steps)
-        self.messages += steps
-        return steps * (self.spec.latency + chunk / bw)
+        """Pure time estimate of :meth:`ring_allreduce_cost`."""
+        return self.ring_allreduce_cost(nbytes, nnodes, concurrent_procs).time
 
     def tree_bcast_time(self, nbytes: int, nnodes: int) -> float:
-        """Binomial-tree broadcast across nodes, single leader per node."""
-        if nnodes <= 1:
-            return 0.0
-        import math
-
-        rounds = math.ceil(math.log2(nnodes))
-        self.bytes_sent += nbytes * (nnodes - 1)
-        self.messages += nnodes - 1
-        return rounds * (self.spec.latency + nbytes / self.spec.lane_bandwidth)
+        """Pure time estimate of :meth:`tree_bcast_cost`."""
+        return self.tree_bcast_cost(nbytes, nnodes).time
 
     def tree_allreduce_time(self, nbytes: int, nnodes: int) -> float:
-        """Reduce+bcast binomial tree, single leader per node (models the
-        vendor tree collectives that win on small messages)."""
-        return 2.0 * self.tree_bcast_time(nbytes, nnodes)
+        """Pure time estimate of :meth:`tree_allreduce_cost`."""
+        return self.tree_allreduce_cost(nbytes, nnodes).time
+
+
+# ---------------------------------------------------------------------------
+# Cluster topology
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous slice of the cluster: ``nnodes`` nodes of one
+    machine preset, each running ``ranks_per_node`` ranks."""
+
+    machine: str
+    nnodes: int
+    ranks_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ValueError("a group needs at least one node")
+        if self.ranks_per_node < 1:
+            raise ValueError("a node needs at least one rank")
+
+    @property
+    def nranks(self) -> int:
+        return self.nnodes * self.ranks_per_node
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Cluster shape: node groups joined by one interconnect.
+
+    A single-group topology is the common homogeneous cluster
+    (:meth:`uniform`); multiple groups model mixed NodeA/NodeB
+    machines sharing a fabric — the hierarchy layer gates the
+    inter-node exchange on the slowest group.
+    """
+
+    groups: Tuple[NodeGroup, ...]
+    network: NetworkSpec = field(default=INFINIBAND_EDR)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a topology needs at least one node group")
+
+    @classmethod
+    def uniform(cls, machine: str, nnodes: int, ranks_per_node: int,
+                network: NetworkSpec = INFINIBAND_EDR) -> "Topology":
+        return cls(groups=(NodeGroup(machine, nnodes, ranks_per_node),),
+                   network=network)
+
+    @property
+    def nnodes(self) -> int:
+        return sum(g.nnodes for g in self.groups)
+
+    @property
+    def nranks(self) -> int:
+        return sum(g.nranks for g in self.groups)
+
+    @property
+    def homogeneous(self) -> bool:
+        return len({(g.machine, g.ranks_per_node) for g in self.groups}) == 1
+
+    def describe(self) -> dict:
+        """Stable dict form (cache keys, result documents)."""
+        return {
+            "groups": [
+                {"machine": g.machine, "nnodes": g.nnodes,
+                 "ranks_per_node": g.ranks_per_node}
+                for g in self.groups
+            ],
+            "network": self.network.name,
+            "nnodes": self.nnodes,
+            "nranks": self.nranks,
+        }

@@ -97,3 +97,113 @@ class TestPipelinedOverlap:
         res = mn.allreduce(16 * MB)
         assert res.time >= max(res.inter_time,
                                res.intra_time / 2) * 0.99
+
+
+class TestVendorProbeAccounting:
+    """Bugfix: the hcoll tree-vs-ring probe priced both strategies but
+    must record only the chosen one (estimate/commit split)."""
+
+    def test_counters_reflect_only_the_chosen_path(self):
+        mn = mk("OMPI-hcoll", 16)
+        res = mn.allreduce(16 * KB)  # tree wins at this size
+        inter = [s for s in res.hierarchy.stages if s.level == "inter"]
+        assert inter[0].algorithm == "tree"
+        tree = mn.network.tree_allreduce_cost(16 * KB, 16)
+        ring = mn.network.ring_allreduce_cost(16 * KB, 16)
+        assert mn.network.bytes_sent == tree.bytes_on_wire
+        assert mn.network.bytes_sent != tree.bytes_on_wire + ring.bytes_on_wire
+        assert mn.network.messages == tree.messages
+
+    def test_counters_reset_per_call(self):
+        mn = mk("OMPI-hcoll", 16)
+        mn.allreduce(16 * KB)
+        first = (mn.network.bytes_sent, mn.network.messages)
+        mn.allreduce(16 * KB)
+        assert (mn.network.bytes_sent, mn.network.messages) == first
+
+
+class TestCeilPartition:
+    """Bugfix: the trailing allgather partition is ceil(nbytes / p),
+    never the floor (remainder dropped) or the whole message
+    (nbytes < p)."""
+
+    def ag_stage(self, res):
+        return next(s for s in res.hierarchy.stages
+                    if s.name == "allgather")
+
+    def test_remainder_not_dropped(self):
+        res = mk("YHCCL", 4).allreduce(100)  # 100 over p=8 ranks
+        assert self.ag_stage(res).nbytes == 13  # ceil, not 12
+
+    def test_tiny_message_not_inflated(self):
+        res = mk("YHCCL", 4).allreduce(5)  # nbytes < p
+        assert self.ag_stage(res).nbytes == 1  # one byte, not all 5
+
+    def test_exact_division_unchanged(self):
+        res = mk("YHCCL", 4).allreduce(1 * MB)
+        assert self.ag_stage(res).nbytes == 1 * MB // 8
+
+
+class TestPipelinedAccounting:
+    """Bugfix: a C-chunk pipeline pays inter-node latency and message
+    counts per chunk, and the document totals match the live network
+    counters."""
+
+    def test_messages_scale_with_chunks(self):
+        mn = mk("YHCCL", 8)
+        res = mn.allreduce(8 * MB)
+        assert res.pipelined
+        c = MultiNodeAllreduce.PIPELINE_CHUNKS
+        per = mn.network.ring_allreduce_cost(
+            -(-8 * MB // c), 8, concurrent_procs=8)
+        inter = next(s for s in res.hierarchy.stages if s.level == "inter")
+        assert inter.messages == c * per.messages
+        assert inter.steps == c * per.steps
+        assert inter.time == per.time * c
+
+    def test_document_totals_match_live_counters(self):
+        mn = mk("YHCCL", 8)
+        res = mn.allreduce(8 * MB)
+        assert mn.network.bytes_sent == res.hierarchy.network_bytes
+        assert mn.network.messages == res.hierarchy.network_messages
+        doc = res.hierarchy.to_doc()
+        assert doc["network"]["bytes_sent"] == sum(
+            lv["bytes_on_wire"] for lv in doc["levels"])
+
+
+class TestLegacyEquivalence:
+    """The composed two-level hierarchy reproduces the pre-refactor
+    facade arithmetic bitwise (serial path: intra sum + inter sum)."""
+
+    def test_yhccl_serial_time_is_legacy_formula(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        mn = MultiNodeAllreduce(comm, 16, implementation="YHCCL",
+                                pipelined=False)
+        s = 4 * MB
+        res = mn.allreduce(s)
+        from repro.library.yhccl import YHCCL
+        from repro.machine.network import Network
+
+        lib = YHCCL(Communicator(8, machine=TINY, functional=False))
+        rs = lib.reduce_scatter(s)
+        ag = lib.allgather(-(-s // 8))
+        inter = Network().ring_allreduce_time(s, 16, concurrent_procs=8)
+        assert res.time == (rs.time + ag.time) + inter
+        assert res.intra_time == rs.time + ag.time
+        assert res.inter_time == inter
+
+    def test_vendor_serial_time_is_legacy_formula(self):
+        comm = Communicator(8, machine=TINY, functional=False)
+        mn = MultiNodeAllreduce(comm, 16, implementation="Open MPI")
+        s = 1 * MB
+        res = mn.allreduce(s)
+        from repro.library.mpi import MPILibrary
+        from repro.machine.network import Network
+
+        lib = MPILibrary(Communicator(8, machine=TINY, functional=False),
+                         "Open MPI")
+        net = Network()
+        # size-switch picks the single-lane ring above the tree cutoff
+        inter = net.ring_allreduce_time(s, 16)
+        expect = (lib.reduce(s).time + lib.bcast(s).time) + inter
+        assert res.time == expect
